@@ -1,0 +1,201 @@
+// Package repro's root benchmarks regenerate every experiment table
+// (E1–E10, see DESIGN.md §4 and EXPERIMENTS.md). Each benchmark both
+// times the experiment and reports its headline quantity as a custom
+// metric, so `go test -bench=.` reproduces the paper's qualitative
+// claims in one run.
+package repro_test
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func mustTable(b *testing.B, gen func() (*experiments.Table, error)) *experiments.Table {
+	b.Helper()
+	t, err := gen()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+func cellInt(b *testing.B, t *experiments.Table, row, col int) int64 {
+	b.Helper()
+	v, err := strconv.ParseInt(t.Rows[row][col], 10, 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) = %q: %v", row, col, t.Rows[row][col], err)
+	}
+	return v
+}
+
+func cellFloat(b *testing.B, t *experiments.Table, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) = %q: %v", row, col, t.Rows[row][col], err)
+	}
+	return v
+}
+
+// BenchmarkE1Figure1 regenerates Figure 1's lowest-cost paths.
+func BenchmarkE1Figure1(b *testing.B) {
+	var xzCost int64
+	for i := 0; i < b.N; i++ {
+		t := mustTable(b, experiments.E1Figure1)
+		xzCost = cellInt(b, t, 0, 1)
+	}
+	b.ReportMetric(float64(xzCost), "cost(X→Z)")
+}
+
+// BenchmarkE2Example1 regenerates Example 1's manipulation sweep.
+func BenchmarkE2Example1(b *testing.B) {
+	var naiveGain, vcgGain int64
+	for i := 0; i < b.N; i++ {
+		t := mustTable(b, experiments.E2Example1)
+		truthNaive, truthVCG := cellInt(b, t, 0, 1), cellInt(b, t, 0, 2)
+		bestNaive, bestVCG := truthNaive, truthVCG
+		for r := range t.Rows {
+			if v := cellInt(b, t, r, 1); v > bestNaive {
+				bestNaive = v
+			}
+			if v := cellInt(b, t, r, 2); v > bestVCG {
+				bestVCG = v
+			}
+		}
+		naiveGain, vcgGain = bestNaive-truthNaive, bestVCG-truthVCG
+	}
+	b.ReportMetric(float64(naiveGain), "naive-lie-gain")
+	b.ReportMetric(float64(vcgGain), "vcg-lie-gain")
+}
+
+// BenchmarkE3Detection regenerates the manipulation-detection matrix.
+func BenchmarkE3Detection(b *testing.B) {
+	caught := 0.0
+	for i := 0; i < b.N; i++ {
+		t := mustTable(b, experiments.E3Detection)
+		caught = float64(len(t.Rows))
+	}
+	b.ReportMetric(caught, "deviations-all-caught")
+}
+
+// BenchmarkE4Overhead regenerates the checker-overhead sweep.
+func BenchmarkE4Overhead(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		t := mustTable(b, func() (*experiments.Table, error) { return experiments.E4Overhead([]int{6, 12, 18, 24}, 11) })
+		ratio = cellFloat(b, t, len(t.Rows)-1, 4)
+	}
+	b.ReportMetric(ratio, "msg-overhead@n24")
+}
+
+// BenchmarkE5BFTBaseline regenerates the BFT comparison.
+func BenchmarkE5BFTBaseline(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		t := mustTable(b, func() (*experiments.Table, error) { return experiments.E5BFTBaseline(12) })
+		ratio = cellFloat(b, t, len(t.Rows)-1, 6)
+	}
+	b.ReportMetric(ratio, "bft/faithful-msgs")
+}
+
+// BenchmarkE6Faithfulness runs the deviation search (Theorem 1).
+func BenchmarkE6Faithfulness(b *testing.B) {
+	var plainViolations, faithfulViolations int64
+	for i := 0; i < b.N; i++ {
+		t := mustTable(b, func() (*experiments.Table, error) { return experiments.E6Faithfulness(1, 13) })
+		plainViolations = cellInt(b, t, 0, 3)
+		faithfulViolations = cellInt(b, t, 0, 5)
+	}
+	b.ReportMetric(float64(plainViolations), "plain-violations")
+	b.ReportMetric(float64(faithfulViolations), "faithful-violations")
+}
+
+// BenchmarkE7PhaseDecomposition regenerates the combinatorial table.
+func BenchmarkE7PhaseDecomposition(b *testing.B) {
+	var reduction int64
+	for i := 0; i < b.N; i++ {
+		t := mustTable(b, experiments.E7PhaseDecomposition)
+		reduction = cellInt(b, t, len(t.Rows)-1, 4)
+	}
+	b.ReportMetric(float64(reduction), "reduction@8pts")
+}
+
+// BenchmarkE8Election regenerates the leader-election comparison.
+func BenchmarkE8Election(b *testing.B) {
+	var naive, faithful float64
+	for i := 0; i < b.N; i++ {
+		t := mustTable(b, func() (*experiments.Table, error) { return experiments.E8Election(40, 14) })
+		naive = cellFloat(b, t, 0, 3)
+		faithful = cellFloat(b, t, 1, 3)
+	}
+	b.ReportMetric(naive, "naive-correct-rate")
+	b.ReportMetric(faithful, "faithful-correct-rate")
+}
+
+// BenchmarkE9Convergence regenerates the convergence sweep.
+func BenchmarkE9Convergence(b *testing.B) {
+	var perNode float64
+	for i := 0; i < b.N; i++ {
+		t := mustTable(b, func() (*experiments.Table, error) { return experiments.E9Convergence([]int{6, 12, 18, 24, 30}, 15) })
+		perNode = cellFloat(b, t, len(t.Rows)-1, 5)
+	}
+	b.ReportMetric(perNode, "msgs-per-node@n30")
+}
+
+// BenchmarkE10Execution regenerates the payment-enforcement table.
+func BenchmarkE10Execution(b *testing.B) {
+	var worstNet int64
+	for i := 0; i < b.N; i++ {
+		t := mustTable(b, experiments.E10Execution)
+		worstNet = 0
+		for r := 1; r < len(t.Rows); r++ {
+			if v := cellInt(b, t, r, 3); v < worstNet {
+				worstNet = v
+			}
+		}
+	}
+	b.ReportMetric(float64(worstNet), "worst-fraud-net")
+}
+
+// BenchmarkE11CheckerAblation regenerates the checker-assignment
+// ablation.
+func BenchmarkE11CheckerAblation(b *testing.B) {
+	rows := 0.0
+	for i := 0; i < b.N; i++ {
+		t := mustTable(b, experiments.E11CheckerAblation)
+		rows = float64(len(t.Rows))
+	}
+	b.ReportMetric(rows, "assignments")
+}
+
+// BenchmarkE12Failstop regenerates the failure-model interplay table.
+func BenchmarkE12Failstop(b *testing.B) {
+	blocked := 0.0
+	for i := 0; i < b.N; i++ {
+		t := mustTable(b, experiments.E12Failstop)
+		blocked = 0
+		for _, row := range t.Rows {
+			if row[1] == "false" {
+				blocked++
+			}
+		}
+	}
+	b.ReportMetric(blocked, "crashes-blocking-progress")
+}
+
+// BenchmarkE13DamageContainment regenerates the victim-damage table.
+func BenchmarkE13DamageContainment(b *testing.B) {
+	var worstPlain int64
+	for i := 0; i < b.N; i++ {
+		t := mustTable(b, experiments.E13DamageContainment)
+		worstPlain = 0
+		for r := range t.Rows {
+			if v := cellInt(b, t, r, 1); v > worstPlain {
+				worstPlain = v
+			}
+		}
+	}
+	b.ReportMetric(float64(worstPlain), "worst-victim-loss-plain")
+}

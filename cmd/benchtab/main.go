@@ -1,0 +1,53 @@
+// Command benchtab prints the regenerated experiment tables (E1–E10).
+//
+// Usage:
+//
+//	benchtab            # all experiments
+//	benchtab -e e2,e6   # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	only := fs.String("e", "", "comma-separated experiment IDs (e.g. e1,e6); empty = all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(strings.ToLower(*only), ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	tables, err := experiments.All()
+	if err != nil {
+		return err
+	}
+	printed := 0
+	for _, t := range tables {
+		if len(want) > 0 && !want[strings.ToLower(t.ID)] {
+			continue
+		}
+		fmt.Println(experiments.Render(t))
+		printed++
+	}
+	if printed == 0 {
+		return fmt.Errorf("no experiment matched %q", *only)
+	}
+	return nil
+}

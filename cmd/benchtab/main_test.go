@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSubset(t *testing.T) {
+	if err := run([]string{"-e", "e7"}); err != nil {
+		t.Fatalf("run(-e e7): %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-e", "e99"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunRandomScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full deviation search")
+	}
+	if err := run([]string{"-n", "4", "-seed", "2"}); err != nil {
+		t.Fatalf("faithcheck: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunFigure1Plain(t *testing.T) {
+	if err := run([]string{"-topology", "figure1"}); err != nil {
+		t.Fatalf("plain figure1: %v", err)
+	}
+}
+
+func TestRunRingFaithful(t *testing.T) {
+	if err := run([]string{"-topology", "ring", "-n", "6", "-chords", "2", "-faithful"}); err != nil {
+		t.Fatalf("faithful ring: %v", err)
+	}
+}
+
+func TestRunRandom(t *testing.T) {
+	if err := run([]string{"-topology", "random", "-n", "5", "-chords", "2", "-seed", "4"}); err != nil {
+		t.Fatalf("random: %v", err)
+	}
+}
+
+func TestRunUnknownTopology(t *testing.T) {
+	if err := run([]string{"-topology", "torus"}); err == nil {
+		t.Error("unknown topology should error")
+	}
+}
+
+func TestRunTooSmallRing(t *testing.T) {
+	if err := run([]string{"-topology", "ring", "-n", "2"}); err == nil {
+		t.Error("ring n=2 should error")
+	}
+}

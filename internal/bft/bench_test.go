@@ -1,0 +1,42 @@
+package bft
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchOps(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("bench-op-%d", i))
+	}
+	return out
+}
+
+func BenchmarkReplicatedOpsF1(b *testing.B) {
+	ops := benchOps(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(1, nil, ops, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkReplicatedOpsF3(b *testing.B) {
+	ops := benchOps(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(3, nil, ops, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("incomplete")
+		}
+	}
+}

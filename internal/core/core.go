@@ -1,0 +1,202 @@
+// Package core implements the paper's primary contribution: the
+// faithfulness framework for distributed mechanism specifications
+// (Shneidman & Parkes, PODC 2004, §3.3–§3.8).
+//
+// A distributed mechanism specification dM = (g, Σ, s^m) is *faithful*
+// (Definition 8) when the suggested strategy s^m is an ex post Nash
+// equilibrium: no node, whatever the others' types, can strictly gain
+// by any unilateral deviation. The framework exposes:
+//
+//   - the deviation model (a catalogue of alternative strategies per
+//     node, classified as information-revelation, message-passing or
+//     computation deviations per §3.4);
+//   - CheckFaithfulness, the verifier that exhaustively plays every
+//     catalogued unilateral deviation against the suggested strategy
+//     and reports any strict utility gain (violations of IC, CC or AC
+//     — Definitions 9–11); and
+//   - Report, which maps violations back onto the paper's property
+//     vocabulary (IC/CC/AC, and faithfulness via Proposition 1: all
+//     three in the same equilibrium).
+//
+// Strong-CC / strong-AC (Definitions 12–13) are checked by including
+// *joint* deviations — combinations of message-passing, computation
+// and revelation actions — in the catalogue; Proposition 2 is
+// exercised end-to-end in the fpss/faithful packages.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/spec"
+)
+
+// NodeID identifies a participant in a distributed mechanism.
+type NodeID int
+
+// Deviation is one alternative strategy available to a rational node:
+// a named departure from the suggested specification, tagged with the
+// action classes it touches (a joint deviation touches several).
+type Deviation interface {
+	// Name uniquely identifies the deviation within a System.
+	Name() string
+	// Classes reports which external action classes the deviation
+	// manipulates (information revelation, message passing,
+	// computation) — drives the IC/CC/AC attribution in Report.
+	Classes() []spec.ActionKind
+}
+
+// Outcome is the result of running a distributed mechanism to
+// completion (or to the bank refusing to green-light it).
+type Outcome struct {
+	// Utilities is the realized quasilinear utility per node,
+	// including payments, penalties and transit costs.
+	Utilities map[NodeID]int64
+	// Completed is false when the mechanism did not reach the
+	// execution phase (e.g. the bank kept restarting a construction
+	// phase because a deviation was detected). Per the paper's §4.3
+	// assumption, nodes place a strong negative value on
+	// non-progress; Utilities must already reflect that.
+	Completed bool
+	// Detected lists nodes the bank (or checkpointing entity) flagged.
+	Detected []NodeID
+}
+
+// System is one concrete instance of a distributed mechanism: a fixed
+// topology and true-type profile, plus the machinery to execute the
+// suggested specification with at most one deviating node.
+type System interface {
+	// Nodes lists the strategic participants.
+	Nodes() []NodeID
+	// Deviations enumerates the catalogued deviations for a node.
+	Deviations(n NodeID) []Deviation
+	// Run executes the mechanism. deviator < 0 (or dev == nil) runs
+	// the suggested specification s^m for everyone.
+	Run(deviator NodeID, dev Deviation) (Outcome, error)
+}
+
+// Violation records a strictly profitable unilateral deviation — a
+// counterexample to faithfulness.
+type Violation struct {
+	Node      NodeID
+	Deviation string
+	Classes   []spec.ActionKind
+	Baseline  int64
+	Deviant   int64
+}
+
+// Gain returns the strict improvement the deviator obtained.
+func (v Violation) Gain() int64 { return v.Deviant - v.Baseline }
+
+func (v Violation) String() string {
+	return fmt.Sprintf("node %d gains %d via %q (classes %v)", v.Node, v.Gain(), v.Deviation, v.Classes)
+}
+
+// Report summarizes a faithfulness check in the paper's vocabulary.
+type Report struct {
+	// Checked is the number of (node, deviation) pairs executed.
+	Checked int
+	// Violations lists every strictly profitable deviation.
+	Violations []Violation
+}
+
+// touches reports whether any violation involves the given class.
+func (r Report) touches(k spec.ActionKind) bool {
+	for _, v := range r.Violations {
+		for _, c := range v.Classes {
+			if c == k {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IC reports incentive compatibility (Definition 9): no profitable
+// deviation involving information-revelation actions.
+func (r Report) IC() bool { return !r.touches(spec.InfoRevelation) }
+
+// CC reports communication compatibility (Definition 10): no
+// profitable deviation involving message-passing actions.
+func (r Report) CC() bool { return !r.touches(spec.MessagePassing) }
+
+// AC reports algorithm compatibility (Definition 11): no profitable
+// deviation involving computation actions.
+func (r Report) AC() bool { return !r.touches(spec.Computation) }
+
+// Faithful reports Definition 8 via Proposition 1: the suggested
+// strategy survives every catalogued deviation (IC ∧ CC ∧ AC in the
+// same equilibrium — here literally the same runs).
+func (r Report) Faithful() bool { return len(r.Violations) == 0 }
+
+// ErrNoBaseline is returned when the suggested specification itself
+// fails to run.
+var ErrNoBaseline = errors.New("core: baseline run failed")
+
+// CheckFaithfulness plays every catalogued unilateral deviation of
+// every node against the suggested specification and records each
+// strict utility gain. Under the benevolence assumption (Remark 1) a
+// weak equilibrium suffices: ties are not violations.
+//
+// The check certifies ex post Nash *for this type profile*; callers
+// quantify over profiles by invoking it across many sampled Systems
+// (the deviation search of experiment E6).
+func CheckFaithfulness(sys System) (Report, error) {
+	baseline, err := sys.Run(-1, nil)
+	if err != nil {
+		return Report{}, fmt.Errorf("%w: %v", ErrNoBaseline, err)
+	}
+	var rep Report
+	for _, node := range sys.Nodes() {
+		base, ok := baseline.Utilities[node]
+		if !ok {
+			return Report{}, fmt.Errorf("core: baseline missing utility for node %d", node)
+		}
+		for _, dev := range sys.Deviations(node) {
+			rep.Checked++
+			out, err := sys.Run(node, dev)
+			if err != nil {
+				return Report{}, fmt.Errorf("core: run node %d deviation %q: %w", node, dev.Name(), err)
+			}
+			got, ok := out.Utilities[node]
+			if !ok {
+				return Report{}, fmt.Errorf("core: deviant run missing utility for node %d", node)
+			}
+			if got > base {
+				rep.Violations = append(rep.Violations, Violation{
+					Node:      node,
+					Deviation: dev.Name(),
+					Classes:   dev.Classes(),
+					Baseline:  base,
+					Deviant:   got,
+				})
+			}
+		}
+	}
+	sort.Slice(rep.Violations, func(i, j int) bool {
+		if rep.Violations[i].Node != rep.Violations[j].Node {
+			return rep.Violations[i].Node < rep.Violations[j].Node
+		}
+		return rep.Violations[i].Deviation < rep.Violations[j].Deviation
+	})
+	return rep, nil
+}
+
+// BasicDeviation is a ready-made Deviation implementation.
+type BasicDeviation struct {
+	DevName    string
+	DevClasses []spec.ActionKind
+}
+
+var _ Deviation = BasicDeviation{}
+
+// Name implements Deviation.
+func (d BasicDeviation) Name() string { return d.DevName }
+
+// Classes implements Deviation.
+func (d BasicDeviation) Classes() []spec.ActionKind {
+	out := make([]spec.ActionKind, len(d.DevClasses))
+	copy(out, d.DevClasses)
+	return out
+}

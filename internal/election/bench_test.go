@@ -1,0 +1,38 @@
+package election
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func BenchmarkFaithfulElection12(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := graph.RandomBiconnected(12, 6, 5, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	powers := make([]int64, 12)
+	for i := range powers {
+		powers[i] = 1 + rng.Int63n(40)
+	}
+	cfg := Config{
+		Topology:           g,
+		Powers:             powers,
+		Variant:            Faithful,
+		ServiceValue:       1,
+		CostScale:          1 << 20,
+		NonProgressPenalty: 1_000_000,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("not completed")
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/faithful"
+	"repro/internal/fpss"
+	"repro/internal/graph"
+	"repro/internal/rational"
+)
+
+// E11CheckerAblation ablates the checker assignment: §4.2 insists
+// "every neighbor of a node is assigned as a checker for that node."
+// Restricting the assignment to k < degree neighbors opens escapes —
+// a principal can cheat toward the unchecked side.
+func E11CheckerAblation() (*Table, error) {
+	g := graph.Figure1()
+	t := &Table{
+		ID:         "E11",
+		Title:      "Ablation: checker assignment size vs deviation containment",
+		PaperClaim: "the full every-neighbor assignment is load-bearing; the paper calls it 'very important'",
+		Headers:    []string{"checkers per principal", "plays", "caught or neutralized", "profitable"},
+	}
+	for _, limit := range []int{0, 2, 1} {
+		params := rational.DefaultParams(g)
+		params.CheckerLimit = limit
+		sys := &rational.FaithfulSystem{Graph: g, Params: params}
+		base, err := sys.Run(-1, nil)
+		if err != nil {
+			return nil, err
+		}
+		plays, caught, profitable := 0, 0, 0
+		for _, dev := range sys.Deviations(0) {
+			for _, node := range sys.Nodes() {
+				out, err := sys.Run(node, dev)
+				if err != nil {
+					return nil, err
+				}
+				plays++
+				if !out.Completed || len(out.Detected) > 0 || out.Utilities[node] <= base.Utilities[node] {
+					caught++
+				}
+				if out.Utilities[node] > base.Utilities[node] {
+					profitable++
+				}
+			}
+		}
+		label := "all neighbors"
+		if limit > 0 {
+			label = fmt.Sprintf("at most %d", limit)
+		}
+		t.Rows = append(t.Rows, []string{
+			label, itoa(int64(plays)),
+			fmt.Sprintf("%d/%d", caught, plays), fmt.Sprintf("%d/%d", profitable, plays),
+		})
+	}
+	t.Notes = "with the full assignment nothing profits; truncated assignments may leave deviations uncaught or profitable"
+	return t, nil
+}
+
+// E12Failstop reproduces the §5 discussion: the rational-manipulation
+// remedy punishes *crash* failures too — a failstop node looks like a
+// deviator, the bank withholds the green light, and everyone (not just
+// the crashed node) pays the non-progress penalty. Handling mixed
+// failure models is the paper's stated open problem.
+func E12Failstop() (*Table, error) {
+	g := graph.Figure1()
+	t := &Table{
+		ID:         "E12",
+		Title:      "Failure-model interplay: failstop node under the faithful protocol",
+		PaperClaim: "other failures (general omission, failstop) may cause the system to falsely detect and punish manipulation (§5)",
+		Headers:    []string{"crashed node", "green-lit", "detections", "honest nodes punished"},
+	}
+	for i := 0; i < g.N(); i++ {
+		id := graph.NodeID(i)
+		res, err := faithful.Run(faithful.Config{
+			Graph:         g,
+			Strategies:    map[graph.NodeID]*faithful.Strategy{id: {SilentFromPhase2: true}},
+			Traffic:       fpss.AllToAllTraffic(g.N(), 1),
+			DeliveryValue: 10_000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		punished := 0
+		for other, u := range res.Utilities {
+			if other != id && u < 0 {
+				punished++
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			g.Name(id), fmt.Sprintf("%v", res.Completed),
+			itoa(int64(len(res.Detections))), fmt.Sprintf("%d/%d", punished, g.N()-1),
+		})
+	}
+	t.Notes = "a crash is indistinguishable from rational withholding: progress stops and honest nodes suffer — the open problem §5 poses"
+	return t, nil
+}
+
+// E13DamageContainment examines the §5 antisocial angle: how much a
+// deviator can hurt *others* (not help itself) under each protocol. In
+// plain FPSS corrupted tables silently damage victims' efficiency; in
+// the faithful protocol self-interested deviations are contained, but
+// a node willing to eat the non-progress penalty can grief everyone —
+// faithfulness targets rational nodes, not malicious ones.
+func E13DamageContainment() (*Table, error) {
+	g := graph.Figure1()
+	params := rational.DefaultParams(g)
+	plainSys := &rational.PlainSystem{Graph: g, Params: params}
+	faithSys := &rational.FaithfulSystem{Graph: g, Params: params}
+	plainBase, err := plainSys.Run(-1, nil)
+	if err != nil {
+		return nil, err
+	}
+	faithBase, err := faithSys.Run(-1, nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:         "E13",
+		Title:      "Victim damage per deviation: plain vs faithful (completed runs)",
+		PaperClaim: "rational-manipulation defenses bound self-interested harm; anti-social/malicious behavior is outside the model (§5)",
+		Headers:    []string{"deviation", "worst victim loss (plain)", "worst victim loss (faithful, completed)", "faithful blocked runs"},
+	}
+	for _, dev := range plainSys.Deviations(0) {
+		worstPlain, worstFaith := int64(0), int64(0)
+		blocked := 0
+		for _, node := range plainSys.Nodes() {
+			pOut, err := plainSys.Run(node, dev)
+			if err != nil {
+				return nil, err
+			}
+			for victim, u := range pOut.Utilities {
+				if victim == node {
+					continue
+				}
+				if loss := plainBase.Utilities[victim] - u; loss > worstPlain {
+					worstPlain = loss
+				}
+			}
+			fOut, err := faithSys.Run(node, dev)
+			if err != nil {
+				return nil, err
+			}
+			if !fOut.Completed {
+				blocked++
+				continue
+			}
+			for victim, u := range fOut.Utilities {
+				if victim == node {
+					continue
+				}
+				if loss := faithBase.Utilities[victim] - u; loss > worstFaith {
+					worstFaith = loss
+				}
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			dev.Name(), itoa(worstPlain), itoa(worstFaith), fmt.Sprintf("%d/%d", blocked, g.N()),
+		})
+	}
+	t.Notes = "blocked runs end in non-progress: self-interested nodes never choose them, but a malicious node could — the paper's explicit scope limit"
+	return t, nil
+}

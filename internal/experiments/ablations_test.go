@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE11FullAssignmentContainsEverything(t *testing.T) {
+	tbl, err := E11CheckerAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+	full := tbl.Rows[0]
+	if full[0] != "all neighbors" {
+		t.Fatalf("first row should be the full assignment: %v", full)
+	}
+	parts := strings.Split(full[2], "/")
+	if parts[0] != parts[1] {
+		t.Errorf("full assignment not fully containing: %s", full[2])
+	}
+	if !strings.HasPrefix(full[3], "0/") {
+		t.Errorf("full assignment admits profit: %s", full[3])
+	}
+	// Truncated assignments must not contain MORE than the full one.
+	for _, row := range tbl.Rows[1:] {
+		p := strings.Split(row[2], "/")
+		if p[0] > p[1] {
+			t.Errorf("malformed row %v", row)
+		}
+	}
+}
+
+func TestE12CrashBlocksProgressEverywhere(t *testing.T) {
+	tbl, err := E12Failstop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[1] != "false" {
+			t.Errorf("crashed node %s: run green-lit despite failstop", row[0])
+		}
+		parts := strings.Split(row[3], "/")
+		if parts[0] != parts[1] {
+			t.Errorf("crashed node %s: honest nodes not all punished (%s) — the §5 interplay should bite", row[0], row[3])
+		}
+	}
+}
+
+func TestE13PlainAdmitsVictimDamage(t *testing.T) {
+	tbl, err := E13DamageContainment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyPlainDamage := false
+	for _, row := range tbl.Rows {
+		if row[1] != "0" {
+			anyPlainDamage = true
+		}
+	}
+	if !anyPlainDamage {
+		t.Error("expected at least one deviation to damage victims in plain FPSS")
+	}
+	// In completed faithful runs, victim damage must never exceed the
+	// plain protocol's worst case for the same deviation... and for
+	// fully-neutralized deviations it must be zero.
+	for _, row := range tbl.Rows {
+		if strings.HasPrefix(row[3], "0/") && row[2] != "0" && row[1] == "0" {
+			t.Errorf("deviation %s harms victims only under the faithful spec: %v", row[0], row)
+		}
+	}
+}

@@ -1,0 +1,577 @@
+// Package experiments regenerates every "table and figure" of the
+// paper. Shneidman & Parkes (PODC 2004) is a theory paper — its two
+// figures are a worked example network (Figure 1) and a checker
+// diagram (Figure 2) — so the experiment set reproduces the paper's
+// worked examples and quantified claims. Each function returns a
+// Table consumed by bench_test.go, cmd/benchtab and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/bft"
+	"repro/internal/core"
+	"repro/internal/election"
+	"repro/internal/faithful"
+	"repro/internal/fpss"
+	"repro/internal/graph"
+	"repro/internal/rational"
+	"repro/internal/spec"
+)
+
+// Table is one regenerated experiment result.
+type Table struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Headers    []string
+	Rows       [][]string
+	Notes      string
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+// E1Figure1 regenerates Figure 1 and the §4.1 quoted path costs.
+func E1Figure1() (*Table, error) {
+	g := graph.Figure1()
+	sol, err := fpss.ComputeCentral(g)
+	if err != nil {
+		return nil, err
+	}
+	res, err := fpss.Run(fpss.Config{Graph: g})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:         "E1",
+		Title:      "Figure 1: LCPs and quoted costs on the example network",
+		PaperClaim: "cost(X→Z)=2 via X-D-C-Z; cost(Z→D)=1; cost(B→D)=0; LCPs from Z as drawn",
+		Headers:    []string{"pair", "central cost", "central path", "distributed agrees"},
+	}
+	pairs := [][2]string{{"X", "Z"}, {"Z", "D"}, {"B", "D"}, {"Z", "A"}, {"Z", "B"}, {"Z", "C"}, {"Z", "X"}}
+	for _, p := range pairs {
+		src, _ := g.ByName(p[0])
+		dst, _ := g.ByName(p[1])
+		e := sol.Routing[src][dst]
+		names := ""
+		for i, id := range e.Path {
+			if i > 0 {
+				names += "-"
+			}
+			names += g.Name(id)
+		}
+		agrees := res.Nodes[src].Routing()[dst].Path.Equal(e.Path)
+		t.Rows = append(t.Rows, []string{
+			p[0] + "→" + p[1], itoa(int64(e.Cost)), names, fmt.Sprintf("%v", agrees),
+		})
+	}
+	return t, nil
+}
+
+// E2Example1 regenerates Example 1: node C's declared cost swept over
+// 1..10, utility under naive declared-cost pricing (manipulable)
+// versus FPSS VCG pricing (strategyproof).
+func E2Example1() (*Table, error) {
+	g := graph.Figure1()
+	c, _ := g.ByName("C")
+	t := &Table{
+		ID:         "E2",
+		Title:      "Example 1: C's utility vs declared cost (true cost 1)",
+		PaperClaim: "under naive pricing C benefits by declaring 5; under VCG truth is dominant",
+		Headers:    []string{"declared ĉ_C", "u(C) naive", "u(C) VCG", "X→Z LCP via C"},
+	}
+	for declared := graph.Cost(1); declared <= 10; declared++ {
+		d := declared
+		strategies := map[graph.NodeID]*fpss.Strategy{
+			c: {DeclareCost: func(graph.Cost) graph.Cost { return d }},
+		}
+		res, err := fpss.Run(fpss.Config{Graph: g, Strategies: strategies})
+		if err != nil {
+			return nil, err
+		}
+		routing := make(map[graph.NodeID]fpss.RoutingTable)
+		pricing := make(map[graph.NodeID]fpss.PricingTable)
+		declaredCosts := make(fpss.CostTable)
+		trueCosts := make(fpss.CostTable)
+		for id, node := range res.Nodes {
+			routing[id] = node.Routing()
+			pricing[id] = node.Pricing()
+			declaredCosts[id] = node.DeclaredCost()
+			trueCosts[id] = g.Cost(id)
+		}
+		var util [2]int64
+		for i, scheme := range []fpss.PricingScheme{fpss.SchemeDeclaredCost, fpss.SchemeVCG} {
+			exec, err := fpss.Execute(routing, pricing, fpss.ExecConfig{
+				TrueCosts:          trueCosts,
+				DeclaredCosts:      declaredCosts,
+				Traffic:            fpss.AllToAllTraffic(g.N(), 1),
+				DeliveryValue:      10_000,
+				UndeliveredPenalty: 10_000,
+				Scheme:             scheme,
+			})
+			if err != nil {
+				return nil, err
+			}
+			util[i] = exec.Utilities[c]
+		}
+		x, _ := g.ByName("X")
+		z, _ := g.ByName("Z")
+		viaC := routing[x][z].Path.Contains(c)
+		t.Rows = append(t.Rows, []string{
+			itoa(int64(declared)), itoa(util[0]), itoa(util[1]), fmt.Sprintf("%v", viaC),
+		})
+	}
+	return t, nil
+}
+
+// E3Detection regenerates §4.3: every manipulation class injected at
+// every node; the extended specification must detect (or neutralize)
+// each one, with zero false positives on honest runs.
+func E3Detection() (*Table, error) {
+	g := graph.Figure1()
+	params := rational.DefaultParams(g)
+	sys := &rational.FaithfulSystem{Graph: g, Params: params}
+	base, err := sys.Run(-1, nil)
+	if err != nil {
+		return nil, err
+	}
+	if !base.Completed || len(base.Detected) != 0 {
+		return nil, fmt.Errorf("honest baseline flagged: %+v", base.Detected)
+	}
+	t := &Table{
+		ID:         "E3",
+		Title:      "Manipulations 1–4: detection and neutralization by the checker scheme",
+		PaperClaim: "every drop/change/spoof/miscompute deviation is caught; no false positives",
+		Headers:    []string{"deviation", "classes", "runs", "caught or neutralized", "profitable anywhere"},
+	}
+	for _, devIface := range sys.Deviations(0) {
+		runs, caught, profitable := 0, 0, 0
+		for _, node := range sys.Nodes() {
+			out, err := sys.Run(node, devIface)
+			if err != nil {
+				return nil, err
+			}
+			runs++
+			// A deviation is caught (detected / blocked) or neutralized
+			// (outcome identical to honest for the deviator).
+			if !out.Completed || len(out.Detected) > 0 || out.Utilities[node] <= base.Utilities[node] {
+				caught++
+			}
+			if out.Utilities[node] > base.Utilities[node] {
+				profitable++
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			devIface.Name(), fmt.Sprintf("%v", devIface.Classes()), itoa(int64(runs)),
+			fmt.Sprintf("%d/%d", caught, runs), fmt.Sprintf("%d/%d", profitable, runs),
+		})
+	}
+	return t, nil
+}
+
+// E4Overhead measures the checker scheme's message and byte overhead
+// versus plain FPSS across network sizes.
+func E4Overhead(sizes []int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:         "E4",
+		Title:      "Checker-scheme overhead vs plain FPSS (construction phases)",
+		PaperClaim: "overhead is a per-neighbor forwarding factor (≈ average degree), not replication of the whole system",
+		Headers:    []string{"n", "avg degree", "plain msgs", "faithful msgs", "msg ratio", "plain bytes", "faithful bytes", "byte ratio"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, n := range sizes {
+		g, err := graph.RingWithChords(n, n/2, 10, rng)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := fpss.Run(fpss.Config{Graph: g})
+		if err != nil {
+			return nil, err
+		}
+		fr, err := faithful.Run(faithful.Config{
+			Graph:         g,
+			Traffic:       fpss.Traffic{},
+			DeliveryValue: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !fr.Completed {
+			return nil, fmt.Errorf("faithful honest run failed at n=%d", n)
+		}
+		avgDeg := float64(2*g.M()) / float64(n)
+		pm, fm := plain.Phase2.Sent, fr.Construction.Sent
+		pb, fb := plain.Phase2.Bytes, fr.Construction.Bytes
+		t.Rows = append(t.Rows, []string{
+			itoa(int64(n)), fmt.Sprintf("%.1f", avgDeg),
+			itoa(pm), itoa(fm), fmt.Sprintf("%.2f", float64(fm)/float64(pm)),
+			itoa(pb), itoa(fb), fmt.Sprintf("%.2f", float64(fb)/float64(pb)),
+		})
+	}
+	return t, nil
+}
+
+// E5BFTBaseline contrasts the faithful checker scheme against a
+// PBFT-style replicated computation carrying the same number of
+// state-update operations.
+func E5BFTBaseline(seed int64) (*Table, error) {
+	t := &Table{
+		ID:         "E5",
+		Title:      "BFT replication baseline vs catch-and-punish (messages)",
+		PaperClaim: "BFT needs 3f+1 replicas and quadratic agreement traffic; catch-and-punish overhead stays a degree factor",
+		Headers:    []string{"network n", "faithful msgs", "updates R", "bft f", "bft replicas", "bft msgs", "bft/faithful"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, n := range []int{4, 7, 10, 13} {
+		g, err := graph.RingWithChords(n, n/3, 10, rng)
+		if err != nil {
+			return nil, err
+		}
+		fr, err := faithful.Run(faithful.Config{Graph: g, Traffic: fpss.Traffic{}, DeliveryValue: 1})
+		if err != nil {
+			return nil, err
+		}
+		// Count the distinct table-update operations the protocol
+		// performed (advertisements), and replay that many ops through
+		// BFT sized to the same network (n = 3f+1 → f = (n-1)/3).
+		f := (n - 1) / 3
+		updates := 0
+		for range fr.Nodes {
+			updates++ // one final table per node is the minimum op count
+		}
+		r := int(fr.Construction.Sent / int64(n)) // per-node protocol messages as op proxy
+		if r < updates {
+			r = updates
+		}
+		ops := make([][]byte, r)
+		for i := range ops {
+			ops[i] = []byte(fmt.Sprintf("update-%d", i))
+		}
+		br, err := bft.Run(f, nil, ops, 1<<21)
+		if err != nil {
+			return nil, err
+		}
+		if !br.Completed {
+			return nil, fmt.Errorf("bft run incomplete at n=%d", n)
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(int64(n)), itoa(fr.Construction.Sent), itoa(int64(r)),
+			itoa(int64(f)), itoa(int64(3*f + 1)), itoa(br.Counters.Sent),
+			fmt.Sprintf("%.2f", float64(br.Counters.Sent)/float64(fr.Construction.Sent)),
+		})
+	}
+	return t, nil
+}
+
+// E6Faithfulness runs the ex post Nash deviation search (Theorem 1):
+// plain FPSS must admit profitable deviations, the extended
+// specification none, across sampled type profiles.
+func E6Faithfulness(trials int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:         "E6",
+		Title:      "Deviation search: plain FPSS vs extended specification",
+		PaperClaim: "extended FPSS is a faithful implementation (Theorem 1); original FPSS is manipulable",
+		Headers:    []string{"trial", "n", "checked", "plain violations", "plain IC/CC/AC", "faithful violations", "faithful IC/CC/AC"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		var g *graph.Graph
+		var err error
+		if trial == 0 {
+			g = graph.Figure1()
+		} else {
+			g, err = graph.RandomBiconnected(4+rng.Intn(3), rng.Intn(4), 8, rng)
+			if err != nil {
+				return nil, err
+			}
+		}
+		params := rational.DefaultParams(g)
+		plainRep, err := core.CheckFaithfulness(&rational.PlainSystem{Graph: g, Params: params})
+		if err != nil {
+			return nil, err
+		}
+		faithRep, err := core.CheckFaithfulness(&rational.FaithfulSystem{Graph: g, Params: params})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(int64(trial)), itoa(int64(g.N())), itoa(int64(faithRep.Checked)),
+			itoa(int64(len(plainRep.Violations))), flags(plainRep),
+			itoa(int64(len(faithRep.Violations))), flags(faithRep),
+		})
+	}
+	return t, nil
+}
+
+func flags(r core.Report) string {
+	b := func(v bool) string {
+		if v {
+			return "✓"
+		}
+		return "✗"
+	}
+	return b(r.IC()) + b(r.CC()) + b(r.AC())
+}
+
+// E7PhaseDecomposition quantifies §3.9's "exponential reduction" in
+// joint manipulations to check.
+func E7PhaseDecomposition() (*Table, error) {
+	t := &Table{
+		ID:         "E7",
+		Title:      "Phase decomposition: joint deviation combinations to verify",
+		PaperClaim: "checkpointed phases turn a product of per-phase spaces into a sum (exponential reduction)",
+		Headers:    []string{"deviation points/phase", "phases", "monolithic combos", "phased combos", "reduction factor"},
+	}
+	for _, points := range []int{2, 4, 6, 8} {
+		phases := []spec.Phase{
+			{Name: "construction-1", DeviationPoints: points, Alternatives: 3},
+			{Name: "construction-2", DeviationPoints: points, Alternatives: 3},
+			{Name: "execution", DeviationPoints: points, Alternatives: 3},
+		}
+		mono, phased := spec.DecompositionSavings(phases)
+		ratio := "inf"
+		if phased.Sign() > 0 {
+			q := mono.Int64() / phased.Int64()
+			ratio = itoa(q)
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(int64(points)), "3", mono.String(), phased.String(), ratio,
+		})
+	}
+	return t, nil
+}
+
+// E8Election regenerates the §3 leader-election story: probability of
+// electing the most powerful node, naive (with rational dodgers) vs
+// faithful (Vickrey procurement).
+func E8Election(trials int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:         "E8",
+		Title:      "Leader election: correct-leader rate, naive vs faithful",
+		PaperClaim: "the naive protocol fails to elect the most powerful node; the faithful variant always does",
+		Headers:    []string{"spec", "trials", "correct leader", "rate"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	correctNaive, correctFaithful := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		n := 4 + rng.Intn(4)
+		topoG, err := graph.RandomBiconnected(n, rng.Intn(n), 5, rng)
+		if err != nil {
+			return nil, err
+		}
+		powers := make([]int64, n)
+		best := 0
+		for i := range powers {
+			powers[i] = 1 + rng.Int63n(40)
+			if powers[i] > powers[best] {
+				best = i
+			}
+		}
+		base := election.Config{
+			Topology: topoG,
+			Powers:   powers,
+			// CostScale large enough that cost = scale/θ is injective
+			// over θ ∈ [1,40]: successive powers differ by ≥ scale/θ²
+			// ≫ 1, so Vickrey ties happen only for genuinely equal
+			// powers.
+			ServiceValue:       1,
+			CostScale:          1 << 20,
+			NonProgressPenalty: 10_000_000,
+		}
+		// Naive with rational nodes: every node dodges by reporting
+		// minimal power (the §3 failure mode).
+		naiveCfg := base
+		naiveCfg.Variant = election.Naive
+		dodgers := make(map[graph.NodeID]*election.Strategy, n)
+		for i := 0; i < n; i++ {
+			dodgers[graph.NodeID(i)] = &election.Strategy{Declare: func(int64) int64 { return 1 }}
+		}
+		nr, err := election.Run(naiveCfg, dodgers)
+		if err != nil {
+			return nil, err
+		}
+		if nr.Completed && int(nr.Leader) == best {
+			correctNaive++
+		}
+		// Faithful: truthful is equilibrium; run it truthfully.
+		faithCfg := base
+		faithCfg.Variant = election.Faithful
+		fr, err := election.Run(faithCfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		if fr.Completed && int(fr.Leader) == best {
+			correctFaithful++
+		}
+	}
+	t.Rows = append(t.Rows, []string{"naive + rational nodes", itoa(int64(trials)), itoa(int64(correctNaive)),
+		fmt.Sprintf("%.2f", float64(correctNaive)/float64(trials))})
+	t.Rows = append(t.Rows, []string{"faithful (Vickrey)", itoa(int64(trials)), itoa(int64(correctFaithful)),
+		fmt.Sprintf("%.2f", float64(correctFaithful)/float64(trials))})
+	return t, nil
+}
+
+// E9Convergence measures construction-phase convergence versus
+// network size, the Griffin–Wilfong-style iterative computation.
+func E9Convergence(sizes []int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:         "E9",
+		Title:      "Distributed construction convergence vs network size",
+		PaperClaim: "the iterative computation converges on static networks; work scales with n·edges, latency with diameter",
+		Headers:    []string{"n", "edges", "diameter", "phase1 msgs", "phase2 msgs", "msgs per node", "steps"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, n := range sizes {
+		g, err := graph.RingWithChords(n, n/2, 10, rng)
+		if err != nil {
+			return nil, err
+		}
+		res, err := fpss.Run(fpss.Config{Graph: g})
+		if err != nil {
+			return nil, err
+		}
+		phase2Msgs := res.Phase2.Sent - res.Phase1.Sent
+		t.Rows = append(t.Rows, []string{
+			itoa(int64(n)), itoa(int64(g.M())), itoa(int64(g.Diameter())),
+			itoa(res.Phase1.Sent), itoa(phase2Msgs),
+			fmt.Sprintf("%.1f", float64(res.Phase2.Sent)/float64(n)),
+			itoa(res.Phase2.Steps),
+		})
+	}
+	return t, nil
+}
+
+// E10Execution regenerates the execution-phase enforcement result
+// (Remark 5): payment misreports are settled and penalized ε-above,
+// making fraud strictly unprofitable.
+func E10Execution() (*Table, error) {
+	g := graph.Figure1()
+	x, _ := g.ByName("X")
+	base := faithful.Config{
+		Graph:              g,
+		Traffic:            fpss.AllToAllTraffic(g.N(), 2),
+		DeliveryValue:      10_000,
+		UndeliveredPenalty: 10_000,
+		Epsilon:            1,
+	}
+	honest, err := faithful.Run(base)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:         "E10",
+		Title:      "Execution-phase enforcement: X's utility under payment reporting strategies",
+		PaperClaim: "the bank's ε-above penalty makes any payment misreport strictly unprofitable",
+		Headers:    []string{"report strategy", "u(X)", "penalty", "net vs honest"},
+	}
+	t.Rows = append(t.Rows, []string{"truthful", itoa(honest.Utilities[x]), "0", "0"})
+	strategies := []struct {
+		name string
+		hook func(fpss.PaymentList) fpss.PaymentList
+	}{
+		{"report nothing", func(fpss.PaymentList) fpss.PaymentList { return fpss.PaymentList{} }},
+		{"halve everything", func(p fpss.PaymentList) fpss.PaymentList {
+			out := make(fpss.PaymentList, len(p))
+			for k, v := range p {
+				out[k] = v / 2
+			}
+			return out
+		}},
+		{"skip one transit", func(p fpss.PaymentList) fpss.PaymentList {
+			out := p.Clone()
+			for k := range out {
+				delete(out, k)
+				break
+			}
+			return out
+		}},
+		{"overpay by 10", func(p fpss.PaymentList) fpss.PaymentList {
+			out := p.Clone()
+			for k := range out {
+				out[k] += 10
+				break
+			}
+			return out
+		}},
+	}
+	for _, s := range strategies {
+		cfg := base
+		cfg.Strategies = map[graph.NodeID]*faithful.Strategy{x: {ReportPayment: s.hook}}
+		res, err := faithful.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var penalty int64
+		for _, f := range res.PaymentFindings {
+			if f.Node == x {
+				penalty = f.Penalty
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			s.name, itoa(res.Utilities[x]), itoa(penalty), itoa(res.Utilities[x] - honest.Utilities[x]),
+		})
+	}
+	return t, nil
+}
+
+// All runs every experiment with default parameters.
+func All() ([]*Table, error) {
+	type gen func() (*Table, error)
+	gens := []gen{
+		E1Figure1,
+		E2Example1,
+		E3Detection,
+		func() (*Table, error) { return E4Overhead([]int{6, 12, 18, 24}, 11) },
+		func() (*Table, error) { return E5BFTBaseline(12) },
+		func() (*Table, error) { return E6Faithfulness(3, 13) },
+		E7PhaseDecomposition,
+		func() (*Table, error) { return E8Election(40, 14) },
+		func() (*Table, error) { return E9Convergence([]int{6, 12, 18, 24, 30}, 15) },
+		E10Execution,
+		E11CheckerAblation,
+		E12Failstop,
+		E13DamageContainment,
+	}
+	out := make([]*Table, 0, len(gens))
+	for _, g := range gens {
+		tbl, err := g()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}
+
+// Render prints a table as aligned text.
+func Render(t *Table) string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	out := fmt.Sprintf("%s — %s\nPaper: %s\n", t.ID, t.Title, t.PaperClaim)
+	line := func(cells []string) string {
+		s := ""
+		for i, c := range cells {
+			s += fmt.Sprintf("%-*s  ", widths[i], c)
+		}
+		return s + "\n"
+	}
+	out += line(t.Headers)
+	for _, row := range t.Rows {
+		out += line(row)
+	}
+	if t.Notes != "" {
+		out += "Note: " + t.Notes + "\n"
+	}
+	return out
+}

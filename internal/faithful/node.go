@@ -1,0 +1,473 @@
+// Package faithful implements the paper's extended FPSS specification
+// (§4.2–§4.3): every neighbor of a principal acts as its checker,
+// principals forward copies of every received update to their
+// checkers, checkers mirror the principal's computation without
+// emitting outputs, and a trusted bank compares state hashes at phase
+// checkpoints — restarting a construction phase on any deviation and
+// levying ε-above penalties on execution-phase fraud.
+//
+// Together with the strategyproofness of the underlying VCG mechanism
+// this makes the whole specification faithful (Theorem 1): the
+// deviation catalogue of package rational finds profitable deviations
+// against plain FPSS but none against this protocol.
+package faithful
+
+import (
+	"fmt"
+
+	"repro/internal/bank"
+	"repro/internal/fpss"
+	"repro/internal/graph"
+	"repro/internal/sign"
+	"repro/internal/sim"
+)
+
+// ForwardCopy is a principal's copy of a received update, forwarded to
+// its checkers so they can mirror its computation (Figure 2).
+type ForwardCopy struct {
+	Principal graph.NodeID
+	From      graph.NodeID
+	U         fpss.Update
+}
+
+// Size implements sim.Sizer.
+func (f ForwardCopy) Size() int { return 1 + f.U.Size() }
+
+// StateRequest asks a node for its signed state report (bank →
+// nodes at a checkpoint).
+type StateRequest struct{}
+
+// Size implements sim.Sizer.
+func (StateRequest) Size() int { return 1 }
+
+// StateReply carries the signed report back to the bank.
+type StateReply struct {
+	Env sign.Envelope
+}
+
+// Size implements sim.Sizer.
+func (r StateReply) Size() int { return 1 + len(r.Env.Payload)/16 }
+
+// Strategy is the faithful protocol's deviation surface. The zero
+// value (or nil) is the suggested specification.
+type Strategy struct {
+	// Protocol carries the construction-phase deviations shared with
+	// plain FPSS (cost misreports, table miscomputation, tampered or
+	// dropped advertisements).
+	Protocol fpss.Strategy
+	// ForwardToChecker intercepts an outgoing ForwardCopy; ok=false
+	// drops it (manipulations 1 and 3: drop/change forwarded updates).
+	ForwardToChecker func(to graph.NodeID, fc ForwardCopy) (ForwardCopy, bool)
+	// SpoofCopies fabricates forward copies injected at phase-2 start
+	// (the "spoof" arm of manipulations 1 and 3). The principal also
+	// applies them to its own state for maximal consistency.
+	SpoofCopies func(self graph.NodeID) []ForwardCopy
+	// ReportState rewrites the node's state report before signing
+	// (lying to the bank about one's own or mirrored tables).
+	ReportState func(truth bank.StateReport) bank.StateReport
+	// ReportPayment misreports DATA4 in the execution phase.
+	ReportPayment func(truth fpss.PaymentList) fpss.PaymentList
+	// SilentFromPhase2 models a failstop (crash) fault rather than a
+	// rational deviation: the node stops participating once phase 2
+	// begins, never advertises, forwards or reports. Used by the §5
+	// failure-model experiment (E12) — the paper notes that such
+	// failures "may cause the system to falsely detect and punish
+	// manipulation".
+	SilentFromPhase2 bool
+}
+
+func (s *Strategy) silentFromPhase2() bool { return s != nil && s.SilentFromPhase2 }
+
+func (s *Strategy) protocol() *fpss.Strategy {
+	if s == nil {
+		return nil
+	}
+	return &s.Protocol
+}
+
+func (s *Strategy) forwardToChecker(to graph.NodeID, fc ForwardCopy) (ForwardCopy, bool) {
+	if s == nil || s.ForwardToChecker == nil {
+		return fc, true
+	}
+	return s.ForwardToChecker(to, fc)
+}
+
+func (s *Strategy) spoofCopies(self graph.NodeID) []ForwardCopy {
+	if s == nil || s.SpoofCopies == nil {
+		return nil
+	}
+	return s.SpoofCopies(self)
+}
+
+func (s *Strategy) reportState(truth bank.StateReport) bank.StateReport {
+	if s == nil || s.ReportState == nil {
+		return truth
+	}
+	return s.ReportState(truth)
+}
+
+// mirror is a checker's clone of one principal's computation state.
+type mirror struct {
+	principal graph.NodeID
+	neighbors []graph.NodeID
+	views     map[graph.NodeID]fpss.NeighborView
+	routing   fpss.RoutingTable
+	pricing   fpss.PricingTable
+}
+
+func (m *mirror) recompute(costs fpss.CostTable) {
+	m.routing = fpss.ComputeRouting(m.principal, m.neighbors, costs, m.views)
+	m.pricing = fpss.ComputePricing(m.principal, m.neighbors, costs, m.routing, m.views)
+}
+
+// Node is a faithful-protocol participant: a principal in the core
+// algorithm and a checker for every one of its neighbors.
+type Node struct {
+	id        graph.NodeID
+	trueCost  graph.Cost
+	neighbors []graph.NodeID
+	// neighborsOf gives the (semi-private) neighbor lists of this
+	// node's neighbors — checkers must know who else checks their
+	// principal ([CHECK2] validates forward origins against it).
+	neighborsOf map[graph.NodeID][]graph.NodeID
+	// checkersOf restricts the checker assignment (ablation E11): by
+	// default every neighbor of a principal checks it, which is what
+	// §4.2 calls "very important"; smaller subsets open escapes.
+	checkersOf map[graph.NodeID][]graph.NodeID
+	strategy   *Strategy
+	signer     *sign.Signer
+
+	costs   fpss.CostTable
+	views   map[graph.NodeID]fpss.NeighborView
+	routing fpss.RoutingTable
+	pricing fpss.PricingTable
+
+	mirrors  map[graph.NodeID]*mirror
+	lastSent map[graph.NodeID]fpss.Update
+	flags    []bank.Flag
+
+	phase2  bool
+	spoofed bool
+	adverts int
+}
+
+// advertBudget mirrors fpss.Node's oscillation damping: honest
+// convergence uses O(n²) advertisements; deviant strategies that
+// induce oscillation are cut off so the bank checkpoint always fires.
+func (n *Node) advertBudget() int {
+	known := len(n.costs)
+	if known < len(n.neighbors)+1 {
+		known = len(n.neighbors) + 1
+	}
+	return 8*known*known + 32
+}
+
+var _ sim.Handler = (*Node)(nil)
+
+// NewNode constructs a faithful-protocol node. checkersOf may be nil,
+// meaning the full assignment (every neighbor checks).
+func NewNode(id graph.NodeID, trueCost graph.Cost, neighborsOf, checkersOf map[graph.NodeID][]graph.NodeID, strategy *Strategy, signer *sign.Signer) *Node {
+	nbrs := make([]graph.NodeID, len(neighborsOf[id]))
+	copy(nbrs, neighborsOf[id])
+	nOf := make(map[graph.NodeID][]graph.NodeID, len(neighborsOf))
+	for k, v := range neighborsOf {
+		c := make([]graph.NodeID, len(v))
+		copy(c, v)
+		nOf[k] = c
+	}
+	cOf := nOf
+	if checkersOf != nil {
+		cOf = make(map[graph.NodeID][]graph.NodeID, len(checkersOf))
+		for k, v := range checkersOf {
+			c := make([]graph.NodeID, len(v))
+			copy(c, v)
+			cOf[k] = c
+		}
+	}
+	return &Node{
+		id:          id,
+		trueCost:    trueCost,
+		neighbors:   nbrs,
+		neighborsOf: nOf,
+		checkersOf:  cOf,
+		strategy:    strategy,
+		signer:      signer,
+		costs:       make(fpss.CostTable),
+		views:       make(map[graph.NodeID]fpss.NeighborView),
+		mirrors:     make(map[graph.NodeID]*mirror),
+		lastSent:    make(map[graph.NodeID]fpss.Update),
+	}
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() graph.NodeID { return n.id }
+
+// Routing returns the node's DATA2.
+func (n *Node) Routing() fpss.RoutingTable { return n.routing.Clone() }
+
+// Pricing returns the node's DATA3*.
+func (n *Node) Pricing() fpss.PricingTable { return n.pricing.Clone() }
+
+// Costs returns the node's DATA1.
+func (n *Node) Costs() fpss.CostTable { return n.costs.Clone() }
+
+// DeclaredCost returns the (possibly untruthful) declared cost.
+func (n *Node) DeclaredCost() graph.Cost {
+	s := n.strategy.protocol()
+	if s != nil && s.DeclareCost != nil {
+		return s.DeclareCost(n.trueCost)
+	}
+	return n.trueCost
+}
+
+// MirrorOf exposes a checker's mirror tables for a principal (tests).
+func (n *Node) MirrorOf(p graph.NodeID) (fpss.RoutingTable, fpss.PricingTable, bool) {
+	m, ok := n.mirrors[p]
+	if !ok {
+		return nil, nil, false
+	}
+	return m.routing.Clone(), m.pricing.Clone(), true
+}
+
+// Init floods the declared cost (first construction phase).
+func (n *Node) Init(ctx sim.Context) {
+	declared := n.DeclaredCost()
+	n.costs[n.id] = declared
+	a := fpss.CostAnnounce{Origin: n.id, Cost: declared}
+	for _, v := range n.neighbors {
+		ctx.Send(sim.Addr(v), a)
+	}
+}
+
+// Recv dispatches protocol messages.
+func (n *Node) Recv(ctx sim.Context, msg sim.Message) {
+	switch m := msg.Payload.(type) {
+	case fpss.CostAnnounce:
+		n.onCostAnnounce(ctx, m)
+	case fpss.StartPhase2:
+		if n.strategy.silentFromPhase2() {
+			return // failstop: crashes at the phase boundary
+		}
+		n.onStartPhase2(ctx)
+	case fpss.Update:
+		if n.strategy.silentFromPhase2() {
+			return
+		}
+		n.onUpdate(ctx, m)
+	case ForwardCopy:
+		if n.strategy.silentFromPhase2() {
+			return
+		}
+		n.onForwardCopy(m)
+	case StateRequest:
+		if n.strategy.silentFromPhase2() {
+			return // never reports: the bank sees a missing report
+		}
+		n.onStateRequest(ctx)
+	}
+}
+
+func (n *Node) onCostAnnounce(ctx sim.Context, a fpss.CostAnnounce) {
+	if _, known := n.costs[a.Origin]; known {
+		return
+	}
+	n.costs[a.Origin] = a.Cost
+	s := n.strategy.protocol()
+	for _, v := range n.neighbors {
+		relayed, ok := a, true
+		if s != nil && s.RelayCost != nil {
+			relayed, ok = s.RelayCost(v, a)
+		}
+		if !ok {
+			continue
+		}
+		ctx.Send(sim.Addr(v), relayed)
+	}
+}
+
+func (n *Node) onStartPhase2(ctx sim.Context) {
+	if n.phase2 {
+		return
+	}
+	n.phase2 = true
+	// Become a checker for every neighbor that this node is assigned
+	// to check (all of them under the paper's assignment).
+	for _, p := range n.neighbors {
+		if !contains(n.checkersOf[p], n.id) {
+			continue
+		}
+		m := &mirror{
+			principal: p,
+			neighbors: n.neighborsOf[p],
+			views:     make(map[graph.NodeID]fpss.NeighborView),
+		}
+		m.recompute(n.costs)
+		n.mirrors[p] = m
+	}
+	n.recompute(ctx, true)
+	// Spoof injection (deviation): fabricate forward copies and apply
+	// them to own state so the lie is maximally self-consistent.
+	if !n.spoofed {
+		n.spoofed = true
+		for _, fc := range n.strategy.spoofCopies(n.id) {
+			n.views[fc.From] = fpss.NeighborView{Routing: fc.U.Routing, Pricing: fc.U.Pricing}
+			for _, c := range n.checkersOf[n.id] {
+				ctx.Send(sim.Addr(c), fc)
+			}
+		}
+		if n.strategy != nil && n.strategy.SpoofCopies != nil {
+			n.recompute(ctx, true)
+		}
+	}
+}
+
+// onUpdate handles a neighbor principal's advertisement: storing the
+// view, forwarding copies to this node's own checkers, and
+// recomputing. The [CHECK1]-style comparison of the advertisement
+// against the mirror happens at the quiescence checkpoint (see
+// onStateRequest), where no update is still in flight — comparing
+// mid-convergence would false-flag honest transients.
+func (n *Node) onUpdate(ctx sim.Context, u fpss.Update) {
+	if !n.phase2 {
+		n.phase2 = true
+	}
+	n.views[u.From] = fpss.NeighborView{Routing: u.Routing, Pricing: u.Pricing}
+	// PRINC: forward a copy to all checkers except the original sender
+	// (Figure 2: C1 is on the incoming path and needs no copy).
+	fc := ForwardCopy{Principal: n.id, From: u.From, U: u}
+	for _, c := range n.checkersOf[n.id] {
+		if c == u.From {
+			continue
+		}
+		out, ok := n.strategy.forwardToChecker(c, fc)
+		if !ok {
+			continue
+		}
+		ctx.Send(sim.Addr(c), out)
+	}
+	n.recompute(ctx, false)
+}
+
+// onForwardCopy handles a checker-side forwarded input ([CHECK1]/
+// [CHECK2]): validate provenance, then mirror the principal's
+// computation.
+func (n *Node) onForwardCopy(fc ForwardCopy) {
+	m, ok := n.mirrors[fc.Principal]
+	if !ok {
+		n.flag(fc.Principal, "forward copy from non-neighbor principal")
+		return
+	}
+	if fc.From == n.id {
+		// The principal claims this node sent it: verify against what
+		// was actually sent (the spoof catch — "this spoof will create
+		// an inconsistency in the identity tag information").
+		last, sent := n.lastSent[fc.Principal]
+		if !sent || !last.Routing.Equal(fc.U.Routing) || !last.Pricing.Equal(fc.U.Pricing) {
+			n.flag(fc.Principal, "forward copy misattributes this checker")
+			return
+		}
+		return // own sends are already applied to the mirror
+	}
+	if !contains(m.neighbors, fc.From) {
+		// [CHECK2]: "Ignore messages with identity tags that are not
+		// checker nodes of the principal."
+		n.flag(fc.Principal, fmt.Sprintf("forward copy from %d, not a checker of %d", fc.From, fc.Principal))
+		return
+	}
+	m.views[fc.From] = fpss.NeighborView{Routing: fc.U.Routing, Pricing: fc.U.Pricing}
+	m.recompute(n.costs)
+}
+
+// recompute re-runs the suggested computation with strategy hooks and
+// advertises on change, updating the checkers' ground-truth record of
+// what was sent to each neighbor.
+func (n *Node) recompute(ctx sim.Context, force bool) {
+	s := n.strategy.protocol()
+	newRouting := fpss.ComputeRouting(n.id, n.neighbors, n.costs, n.views)
+	if s != nil && s.PostRouting != nil {
+		newRouting = s.PostRouting(newRouting)
+	}
+	newPricing := fpss.ComputePricing(n.id, n.neighbors, n.costs, newRouting, n.views)
+	if s != nil && s.PostPricing != nil {
+		newPricing = s.PostPricing(newPricing)
+	}
+	changed := !newRouting.Equal(n.routing) || !newPricing.Equal(n.pricing)
+	n.routing = newRouting
+	n.pricing = newPricing
+	if !changed && !force {
+		return
+	}
+	if n.adverts >= n.advertBudget() {
+		return // oscillation damping; see advertBudget
+	}
+	n.adverts++
+	base := fpss.Update{From: n.id, Routing: n.routing, Pricing: n.pricing}
+	for _, v := range n.neighbors {
+		u, ok := base.Clone(), true
+		if s != nil && s.SendUpdate != nil {
+			u, ok = s.SendUpdate(v, u)
+		}
+		if !ok {
+			continue
+		}
+		// Record ground truth of this channel and apply it to the
+		// mirror this node keeps of neighbor v (checkers apply their
+		// own sends directly; the principal cannot drop them).
+		n.lastSent[v] = u.Clone()
+		if m, ok := n.mirrors[v]; ok {
+			m.views[n.id] = fpss.NeighborView{Routing: u.Routing, Pricing: u.Pricing}
+			m.recompute(n.costs)
+		}
+		ctx.Send(sim.Addr(v), u)
+	}
+}
+
+func (n *Node) onStateRequest(ctx sim.Context) {
+	// [CHECK1]/[CHECK2] at the checkpoint: what each principal last
+	// advertised to this checker must equal the faithfully mirrored
+	// computation. At quiescence every message has been delivered, so
+	// any divergence is a deviation, not a transient.
+	for p, m := range n.mirrors {
+		v, ok := n.views[p]
+		if !ok {
+			n.flag(p, "principal never advertised")
+			continue
+		}
+		if !v.Routing.Equal(m.routing) || !v.Pricing.Equal(m.pricing) {
+			n.flag(p, "advertisement diverges from checker mirror")
+		}
+	}
+	truth := bank.StateReport{
+		Node:        n.id,
+		CostsHash:   n.costs.HashCosts(),
+		RoutingHash: n.routing.HashRouting(),
+		PricingHash: n.pricing.HashPricing(),
+		Mirrors:     make(map[graph.NodeID]bank.MirrorReport, len(n.mirrors)),
+		Flags:       append([]bank.Flag(nil), n.flags...),
+	}
+	for p, m := range n.mirrors {
+		truth.Mirrors[p] = bank.MirrorReport{
+			RoutingHash: m.routing.HashRouting(),
+			PricingHash: m.pricing.HashPricing(),
+		}
+	}
+	rep := n.strategy.reportState(truth)
+	env, err := bank.EncodeReport(n.signer, rep)
+	if err != nil {
+		return // cannot sign: stay silent; the bank treats it as missing
+	}
+	ctx.Send(fpss.BankAddr, StateReply{Env: env})
+}
+
+func (n *Node) flag(principal graph.NodeID, reason string) {
+	n.flags = append(n.flags, bank.Flag{Reporter: n.id, Principal: principal, Reason: reason})
+}
+
+func contains(ids []graph.NodeID, id graph.NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,232 @@
+package faithful
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bank"
+	"repro/internal/fpss"
+	"repro/internal/graph"
+	"repro/internal/sign"
+	"repro/internal/sim"
+)
+
+// Config parameterizes a faithful-protocol run.
+type Config struct {
+	// Graph is the true topology and true transit costs.
+	Graph *graph.Graph
+	// Strategies assigns deviations; nil entries follow the suggested
+	// specification.
+	Strategies map[graph.NodeID]*Strategy
+	// Traffic is the execution-phase demand matrix.
+	Traffic fpss.Traffic
+	// DeliveryValue / UndeliveredPenalty parameterize source utility.
+	DeliveryValue      int64
+	UndeliveredPenalty int64
+	// NonProgressPenalty is every node's (large) loss when the bank
+	// refuses to green-light the execution phase — the paper assumes
+	// "a strong negative value when a construction phase does not
+	// progress" (§4.3). Default 1_000_000.
+	NonProgressPenalty int64
+	// Epsilon is the bank's ε-above penalty margin (default 1).
+	Epsilon int64
+	// MaxSteps bounds each phase (default 1<<20).
+	MaxSteps int64
+	// CheckerLimit caps how many of each principal's neighbors act as
+	// its checkers (0 = all, the paper's assignment). Used only by the
+	// E11 ablation: smaller assignments open detection escapes.
+	CheckerLimit int
+}
+
+// Result is the outcome of a faithful-protocol run.
+type Result struct {
+	// Utilities is each node's realized quasilinear utility.
+	Utilities map[graph.NodeID]int64
+	// Completed reports whether the bank green-lit execution.
+	Completed bool
+	// Detections lists construction-phase verdicts (empty when clean).
+	Detections []bank.Detection
+	// PaymentFindings lists execution-phase audit results.
+	PaymentFindings []bank.PaymentFinding
+	// Construction holds cumulative sim counters at the end of the
+	// construction phases (message overhead, for E4/E5).
+	Construction sim.Counters
+	// Exec is the execution-phase accounting (nil when not reached).
+	Exec *fpss.ExecResult
+	// Nodes exposes the protocol nodes (tests and experiments).
+	Nodes map[graph.NodeID]*Node
+}
+
+// bankHandler adapts the bank to the simulator: it collects signed
+// state replies. Invalid envelopes are dropped, which surfaces as a
+// missing report at the checkpoint.
+type bankHandler struct {
+	bank *bank.Bank
+}
+
+func (h *bankHandler) Init(sim.Context) {}
+
+func (h *bankHandler) Recv(_ sim.Context, m sim.Message) {
+	if r, ok := m.Payload.(StateReply); ok {
+		_ = h.bank.Submit(r.Env) // rejected ⇒ treated as missing
+	}
+}
+
+// Run executes the extended FPSS specification end to end: phase 1
+// (cost flood), phase 2 (routing/pricing with checker mirroring), the
+// bank checkpoint ([BANK1]/[BANK2] plus DATA1 and checker flags), and
+// — when green-lit — the execution phase with payment audit.
+//
+// A detected construction-phase deviation means the bank withholds the
+// green light; with a deterministic deviator a restart loops forever,
+// so the run ends in non-progress and every node takes
+// NonProgressPenalty. That is exactly why construction deviations are
+// unprofitable in equilibrium.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("faithful: nil graph")
+	}
+	if cfg.NonProgressPenalty == 0 {
+		cfg.NonProgressPenalty = 1_000_000
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 1
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 1 << 20
+	}
+	n := cfg.Graph.N()
+
+	neighborsOf := make(map[graph.NodeID][]graph.NodeID, n)
+	checkersOf := make(map[graph.NodeID][]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		id := graph.NodeID(i)
+		neighborsOf[id] = cfg.Graph.Neighbors(id)
+		checkers := neighborsOf[id]
+		if cfg.CheckerLimit > 0 && cfg.CheckerLimit < len(checkers) {
+			checkers = checkers[:cfg.CheckerLimit]
+		}
+		checkersOf[id] = checkers
+	}
+
+	authority := sign.NewAuthority()
+	theBank := bank.New(authority, checkersOf)
+	net := sim.NewNetwork()
+	if err := net.Attach(fpss.BankAddr, &bankHandler{bank: theBank}); err != nil {
+		return nil, err
+	}
+	nodes := make(map[graph.NodeID]*Node, n)
+	for i := 0; i < n; i++ {
+		id := graph.NodeID(i)
+		signer, err := authority.Register(bank.SignerID(id))
+		if err != nil {
+			return nil, fmt.Errorf("register signer %d: %w", id, err)
+		}
+		node := NewNode(id, cfg.Graph.Cost(id), neighborsOf, checkersOf, cfg.Strategies[id], signer)
+		nodes[id] = node
+		if err := net.Attach(sim.Addr(id), node); err != nil {
+			return nil, fmt.Errorf("attach %d: %w", id, err)
+		}
+	}
+
+	res := &Result{Nodes: nodes, Utilities: make(map[graph.NodeID]int64, n)}
+
+	nonProgress := func(reason string) *Result {
+		res.Completed = false
+		if reason != "" {
+			res.Detections = append(res.Detections, bank.Detection{Principal: -1, Reason: reason})
+		}
+		for i := 0; i < n; i++ {
+			res.Utilities[graph.NodeID(i)] = -cfg.NonProgressPenalty
+		}
+		res.Construction = net.Counters()
+		return res
+	}
+
+	// Phase 1: cost flood.
+	if _, err := net.Run(maxSteps); err != nil {
+		if errors.Is(err, sim.ErrBudgetExhausted) {
+			return nonProgress("phase 1 did not quiesce"), nil
+		}
+		return nil, fmt.Errorf("phase 1: %w", err)
+	}
+	// Phase 2: routing and pricing with checker mirroring.
+	for i := 0; i < n; i++ {
+		net.Inject(fpss.BankAddr, sim.Addr(i), fpss.StartPhase2{})
+	}
+	if _, err := net.Resume(maxSteps); err != nil {
+		if errors.Is(err, sim.ErrBudgetExhausted) {
+			return nonProgress("phase 2 did not quiesce"), nil
+		}
+		return nil, fmt.Errorf("phase 2: %w", err)
+	}
+	// Checkpoint: collect signed state reports.
+	for i := 0; i < n; i++ {
+		net.Inject(fpss.BankAddr, sim.Addr(i), StateRequest{})
+	}
+	if _, err := net.Resume(maxSteps); err != nil {
+		if errors.Is(err, sim.ErrBudgetExhausted) {
+			return nonProgress("checkpoint did not quiesce"), nil
+		}
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	res.Construction = net.Counters()
+	res.Detections = theBank.VerifyConstruction()
+	if len(res.Detections) > 0 {
+		return nonProgress(""), nil
+	}
+
+	// Execution phase: green-lit. Tables are certified faithful.
+	routing := make(map[graph.NodeID]fpss.RoutingTable, n)
+	pricing := make(map[graph.NodeID]fpss.PricingTable, n)
+	declared := make(fpss.CostTable, n)
+	trueCosts := make(fpss.CostTable, n)
+	reportHooks := make(map[graph.NodeID]func(fpss.PaymentList) fpss.PaymentList)
+	for id, node := range nodes {
+		routing[id] = node.Routing()
+		pricing[id] = node.Pricing()
+		declared[id] = node.DeclaredCost()
+		trueCosts[id] = cfg.Graph.Cost(id)
+		if s := cfg.Strategies[id]; s != nil && s.ReportPayment != nil {
+			reportHooks[id] = s.ReportPayment
+		}
+	}
+	exec, err := fpss.Execute(routing, pricing, fpss.ExecConfig{
+		TrueCosts:          trueCosts,
+		DeclaredCosts:      declared,
+		Traffic:            cfg.Traffic,
+		DeliveryValue:      cfg.DeliveryValue,
+		UndeliveredPenalty: cfg.UndeliveredPenalty,
+		Scheme:             fpss.SchemeVCG,
+		ReportPayment:      reportHooks,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("execution: %w", err)
+	}
+	res.Exec = exec
+	res.Completed = true
+	for id, u := range exec.Utilities {
+		res.Utilities[id] = u
+	}
+
+	// Audit: the bank verifies DATA4 against certified pricing tables
+	// and the observed traffic; any misreport is settled to the true
+	// obligation and penalized ε above the attempted deviation.
+	res.PaymentFindings = theBank.AuditPayments(exec.Obligations, exec.Reported, cfg.Epsilon)
+	for _, f := range res.PaymentFindings {
+		obligation := exec.Obligations[f.Node]
+		reported := exec.Reported[f.Node]
+		res.Utilities[f.Node] -= obligation.Total() - reported.Total() // settle
+		res.Utilities[f.Node] -= f.Penalty
+		for k, owed := range obligation {
+			res.Utilities[k] += owed - reported[k] // make transit nodes whole
+		}
+		for k, got := range reported {
+			if _, ok := obligation[k]; !ok {
+				res.Utilities[k] -= got // claw back misdirected credits
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,156 @@
+package fpss
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ErrNotBiconnected is returned when the topology violates the FPSS
+// assumption that keeps VCG payments well defined.
+var ErrNotBiconnected = errors.New("fpss: graph is not biconnected")
+
+// Solution is the centralized reference: for every node, its routing
+// and pricing tables computed with full topology knowledge. The
+// distributed protocol converges to exactly this — including witness
+// paths and identity tags — because both use the same composite
+// (cost, hops, lexicographic) route order.
+type Solution struct {
+	Costs   CostTable
+	Routing map[graph.NodeID]RoutingTable
+	Pricing map[graph.NodeID]PricingTable
+}
+
+// ComputeCentral solves routing (DATA2) and VCG pricing (DATA3*) for
+// every node from a global view of the declared-cost graph.
+//
+// For traffic i→j and transit node k on LCP(i,j):
+//
+//	p^k_ij = ĉ_k + cost(LCP_{-k}(i,j)) − cost(LCP(i,j))
+//
+// where LCP_{-k} avoids k (finite by biconnectivity). This is the FPSS
+// VCG rule; truthful cost declaration is a dominant strategy under it.
+// Identity tags are the set of the owner's neighbors v whose best
+// avoid-k continuation attains the minimum — the "union of the nodes
+// that suggested the same pricing entry" (§4.3 DATA3*).
+func ComputeCentral(g *graph.Graph) (*Solution, error) {
+	if !g.IsBiconnected() {
+		return nil, ErrNotBiconnected
+	}
+	n := g.N()
+	sol := &Solution{
+		Costs:   make(CostTable, n),
+		Routing: make(map[graph.NodeID]RoutingTable, n),
+		Pricing: make(map[graph.NodeID]PricingTable, n),
+	}
+	for i := 0; i < n; i++ {
+		sol.Costs[graph.NodeID(i)] = g.Cost(graph.NodeID(i))
+	}
+	dist, paths, err := g.AllPairs()
+	if err != nil {
+		return nil, fmt.Errorf("all pairs: %w", err)
+	}
+
+	// avoidDist[k][v][j] / avoidPath[k][v][j]: lowest-cost v→j routes
+	// in G−k (node k isolated), used for marginal values and tags.
+	avoidDist := make(map[graph.NodeID][][]graph.Cost, n)
+	avoidPath := make(map[graph.NodeID][][]graph.Path, n)
+	for k := 0; k < n; k++ {
+		kid := graph.NodeID(k)
+		gk, err := g.WithoutNode(kid)
+		if err != nil {
+			return nil, err
+		}
+		d, p, err := gk.AllPairs()
+		if err != nil {
+			return nil, fmt.Errorf("all pairs without %d: %w", k, err)
+		}
+		avoidDist[kid] = d
+		avoidPath[kid] = p
+	}
+
+	for i := 0; i < n; i++ {
+		src := graph.NodeID(i)
+		rt := make(RoutingTable, n-1)
+		pt := make(PricingTable)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dst := graph.NodeID(j)
+			p := paths[i][j]
+			if p == nil {
+				return nil, fmt.Errorf("fpss: no path %d→%d despite biconnectivity", i, j)
+			}
+			rt[dst] = RouteEntry{Dest: dst, Cost: dist[i][j], Path: p.Clone()}
+			transits := p.TransitNodes()
+			if len(transits) == 0 {
+				continue
+			}
+			row := make(map[graph.NodeID]PriceEntry, len(transits))
+			for _, k := range transits {
+				witness := avoidPath[k][i][j]
+				if witness == nil {
+					return nil, fmt.Errorf("fpss: no avoid-%d path %d→%d", k, i, j)
+				}
+				b := avoidDist[k][i][j]
+				row[k] = PriceEntry{
+					Transit: k,
+					Price:   g.Cost(k) + b - dist[i][j],
+					Avoid:   witness.Clone(),
+					Tags:    centralTags(g, src, dst, k, b, avoidDist[k]),
+				}
+			}
+			pt[dst] = row
+		}
+		sol.Routing[src] = rt
+		sol.Pricing[src] = pt
+	}
+	return sol, nil
+}
+
+// centralTags returns the sorted set of src's neighbors v ≠ k whose
+// avoid-k continuation cost equals the minimum b:
+// contribution(v) = 0 if v == dst, else ĉ_v + dist_{G−k}(v, dst).
+func centralTags(g *graph.Graph, src, dst, k graph.NodeID, b graph.Cost, distNoK [][]graph.Cost) []graph.NodeID {
+	var tags []graph.NodeID
+	for _, v := range g.Neighbors(src) {
+		if v == k {
+			continue
+		}
+		var contribution graph.Cost
+		if v == dst {
+			contribution = 0
+		} else {
+			dvj := distNoK[v][dst]
+			if dvj >= graph.Infinity {
+				continue
+			}
+			contribution = g.Cost(v) + dvj
+		}
+		if contribution == b {
+			tags = append(tags, v)
+		}
+	}
+	sortIDs(tags)
+	return tags
+}
+
+// VCGPayment returns the centralized per-packet VCG payment owed by
+// src to transit k for traffic to dst, straight from the definition.
+// It is the oracle used by tests.
+func VCGPayment(g *graph.Graph, src, dst, k graph.NodeID) (graph.Cost, error) {
+	p, d, err := g.ShortestPath(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	if !p.Contains(k) || k == src || k == dst {
+		return 0, nil // not a transit node on the LCP: no payment
+	}
+	_, avoidCost, err := g.ShortestPathAvoiding(src, dst, k)
+	if err != nil {
+		return 0, err
+	}
+	return g.Cost(k) + avoidCost - d, nil
+}

@@ -1,0 +1,252 @@
+package fpss
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Traffic is the demand matrix: (src, dst) → packets.
+type Traffic map[[2]graph.NodeID]int64
+
+// Flows returns the demands in deterministic order.
+func (t Traffic) Flows() [][2]graph.NodeID {
+	out := make([][2]graph.NodeID, 0, len(t))
+	for k := range t {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// PricingScheme selects how sources compensate transit nodes.
+type PricingScheme int
+
+const (
+	// SchemeVCG pays the FPSS VCG price from the source's DATA3*
+	// (strategyproof; the mechanism under study).
+	SchemeVCG PricingScheme = iota + 1
+	// SchemeDeclaredCost pays each transit node its declared cost —
+	// the naive baseline FPSS §1 warns about ("under many pricing
+	// schemes, a node could be better off lying about its costs");
+	// Example 1 / experiment E2 quantifies the manipulation it admits.
+	SchemeDeclaredCost
+)
+
+// ExecConfig parameterizes execution-phase accounting.
+type ExecConfig struct {
+	// TrueCosts are the real per-packet transit costs (utilities are
+	// evaluated at true types).
+	TrueCosts CostTable
+	// DeclaredCosts are the DATA1 declared costs (used by
+	// SchemeDeclaredCost and for reference).
+	DeclaredCosts CostTable
+	// Traffic is the demand matrix.
+	Traffic Traffic
+	// DeliveryValue is the source's per-packet value for delivery.
+	DeliveryValue int64
+	// UndeliveredPenalty is the source's per-packet loss when a packet
+	// cannot be routed (missing or looping tables).
+	UndeliveredPenalty int64
+	// Scheme selects the pricing rule (default SchemeVCG).
+	Scheme PricingScheme
+	// ReportPayment lets a node misreport its DATA4 payment list to
+	// the accounting mechanism (execution-phase deviation; the
+	// original FPSS trusts the report). nil entries are truthful.
+	ReportPayment map[graph.NodeID]func(truth PaymentList) PaymentList
+	// MessageCost charges each node per protocol message it sent
+	// (set >0 to make pure message-dropping strictly profitable, the
+	// incentive strong-CC must defeat).
+	MessageCost int64
+	// MessagesSent is the per-node protocol message count (from sim
+	// counters), charged at MessageCost.
+	MessagesSent map[graph.NodeID]int64
+}
+
+// ExecResult is the outcome of the execution phase under the original
+// (trusting) FPSS accounting.
+type ExecResult struct {
+	// Utilities is each node's quasilinear utility: delivery value
+	// − payments made − true transit costs + payments received
+	// − message costs.
+	Utilities map[graph.NodeID]int64
+	// Obligations is each source's truthful DATA4 (what it owes).
+	Obligations map[graph.NodeID]PaymentList
+	// Reported is each source's reported DATA4 (possibly a lie).
+	Reported map[graph.NodeID]PaymentList
+	// Delivered / Undelivered count packets.
+	Delivered, Undelivered int64
+	// Routes records the realized hop-by-hop path per flow (nil when
+	// undeliverable).
+	Routes map[[2]graph.NodeID]graph.Path
+}
+
+// Execute performs execution-phase accounting over converged (possibly
+// manipulated) tables. Packets are forwarded hop-by-hop using each
+// hop's own routing table, so inconsistent tables can strand packets —
+// the efficiency damage Example 1 describes.
+func Execute(routing map[graph.NodeID]RoutingTable, pricing map[graph.NodeID]PricingTable, cfg ExecConfig) (*ExecResult, error) {
+	if cfg.TrueCosts == nil {
+		return nil, errors.New("fpss: ExecConfig.TrueCosts required")
+	}
+	scheme := cfg.Scheme
+	if scheme == 0 {
+		scheme = SchemeVCG
+	}
+	res := &ExecResult{
+		Utilities:   make(map[graph.NodeID]int64, len(routing)),
+		Obligations: make(map[graph.NodeID]PaymentList),
+		Reported:    make(map[graph.NodeID]PaymentList),
+		Routes:      make(map[[2]graph.NodeID]graph.Path),
+	}
+	for id := range cfg.TrueCosts {
+		res.Utilities[id] = 0
+	}
+
+	for _, flow := range cfg.Traffic.Flows() {
+		src, dst := flow[0], flow[1]
+		packets := cfg.Traffic[flow]
+		if packets <= 0 || src == dst {
+			continue
+		}
+		route, ok := forward(routing, src, dst)
+		res.Routes[flow] = route
+		if !ok {
+			res.Undelivered += packets
+			res.Utilities[src] -= cfg.UndeliveredPenalty * packets
+			continue
+		}
+		res.Delivered += packets
+		res.Utilities[src] += cfg.DeliveryValue * packets
+		// Real transit costs accrue on the realized route.
+		for _, k := range route.TransitNodes() {
+			res.Utilities[k] -= int64(cfg.TrueCosts[k]) * packets
+		}
+		// The source's obligation comes from its own tables (its
+		// believed LCP), as in FPSS DATA4.
+		obligation := obligationFor(routing[src], pricing[src], dst, packets, scheme, cfg.DeclaredCosts)
+		if res.Obligations[src] == nil {
+			res.Obligations[src] = make(PaymentList)
+		}
+		for k, amt := range obligation {
+			res.Obligations[src][k] += amt
+		}
+	}
+
+	// Reporting and settlement: the original FPSS accounting trusts
+	// each source's reported DATA4.
+	for id := range res.Utilities {
+		truth := res.Obligations[id]
+		if truth == nil {
+			truth = make(PaymentList)
+		}
+		reported := truth.Clone()
+		if hook := cfg.ReportPayment[id]; hook != nil {
+			reported = hook(truth.Clone())
+		}
+		res.Reported[id] = reported
+		res.Utilities[id] -= reported.Total()
+		for k, amt := range reported {
+			res.Utilities[k] += amt
+		}
+	}
+
+	// Message costs.
+	if cfg.MessageCost > 0 {
+		for id, count := range cfg.MessagesSent {
+			if _, ok := res.Utilities[id]; ok {
+				res.Utilities[id] -= cfg.MessageCost * count
+			}
+		}
+	}
+	return res, nil
+}
+
+// forward routes hop-by-hop using each hop's routing table; returns
+// the realized path and whether dst was reached within a TTL.
+func forward(routing map[graph.NodeID]RoutingTable, src, dst graph.NodeID) (graph.Path, bool) {
+	path := graph.Path{src}
+	cur := src
+	ttl := len(routing) + 2
+	for hops := 0; hops < ttl; hops++ {
+		if cur == dst {
+			return path, true
+		}
+		e, ok := routing[cur][dst]
+		if !ok || len(e.Path) < 2 || e.Path[0] != cur {
+			return path, false
+		}
+		next := e.Path[1]
+		cur = next
+		path = append(path, next)
+	}
+	return path, false
+}
+
+// obligationFor computes a source's truthful payment list for one flow
+// from its own (believed) tables.
+func obligationFor(rt RoutingTable, pt PricingTable, dst graph.NodeID, packets int64, scheme PricingScheme, declared CostTable) PaymentList {
+	out := make(PaymentList)
+	e, ok := rt[dst]
+	if !ok {
+		return out
+	}
+	switch scheme {
+	case SchemeDeclaredCost:
+		for _, k := range e.Path.TransitNodes() {
+			out[k] += int64(declared[k]) * packets
+		}
+	default: // SchemeVCG
+		for k, pe := range pt[dst] {
+			out[k] += int64(pe.Price) * packets
+		}
+	}
+	return out
+}
+
+// AllToAllTraffic builds a uniform demand matrix: every ordered pair
+// exchanges `packets` packets.
+func AllToAllTraffic(n int, packets int64) Traffic {
+	t := make(Traffic, n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				t[[2]graph.NodeID{graph.NodeID(i), graph.NodeID(j)}] = packets
+			}
+		}
+	}
+	return t
+}
+
+// PerNodeMessages converts sim per-address counters into per-node
+// counts, ignoring non-node addresses (e.g. the bank).
+func PerNodeMessages(perOut map[sim.Addr]int64) map[graph.NodeID]int64 {
+	out := make(map[graph.NodeID]int64, len(perOut))
+	for a, c := range perOut {
+		if a == BankAddr {
+			continue
+		}
+		out[graph.NodeID(a)] = c
+	}
+	return out
+}
+
+// String implements fmt.Stringer for schemes.
+func (s PricingScheme) String() string {
+	switch s {
+	case SchemeVCG:
+		return "vcg"
+	case SchemeDeclaredCost:
+		return "declared-cost"
+	default:
+		return fmt.Sprintf("PricingScheme(%d)", int(s))
+	}
+}

@@ -1,0 +1,262 @@
+package fpss
+
+import (
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Message payloads exchanged by the distributed protocol.
+
+// CostAnnounce floods a node's declared transit cost (first
+// construction phase, building DATA1). Declaring one's own cost is an
+// information-revelation action; relaying others' announcements is a
+// message-passing action (§4.1).
+type CostAnnounce struct {
+	Origin graph.NodeID
+	Cost   graph.Cost
+}
+
+// Size implements sim.Sizer.
+func (CostAnnounce) Size() int { return 2 }
+
+// StartPhase2 is the checkpoint signal ("green-light") that begins the
+// second construction phase.
+type StartPhase2 struct{}
+
+// Size implements sim.Sizer.
+func (StartPhase2) Size() int { return 1 }
+
+// Update carries a node's full routing and pricing tables to a
+// neighbor (second construction phase). Updating tables is a
+// computation action; (in the faithful extension) forwarding copies to
+// checkers is a message-passing action.
+type Update struct {
+	From    graph.NodeID
+	Routing RoutingTable
+	Pricing PricingTable
+}
+
+// Size implements sim.Sizer: entries, as an abstract byte measure.
+func (u Update) Size() int {
+	s := 1 + len(u.Routing)
+	for _, row := range u.Pricing {
+		s += len(row)
+	}
+	return s
+}
+
+// Clone deep-copies the update.
+func (u Update) Clone() Update {
+	return Update{From: u.From, Routing: u.Routing.Clone(), Pricing: u.Pricing.Clone()}
+}
+
+// Strategy is a node's deviation surface: nil fields mean the faithful
+// (suggested) behavior. The rational package populates fields to build
+// the deviation catalogue of §4.3; the faithful package's checkers
+// exist to make every such deviation unprofitable.
+type Strategy struct {
+	// DeclareCost maps the true transit cost to the declared one
+	// (information revelation; Example 1 / E2).
+	DeclareCost func(truth graph.Cost) graph.Cost
+	// RelayCost intercepts a CostAnnounce about to be relayed to a
+	// neighbor; returning ok=false drops it (message passing).
+	RelayCost func(to graph.NodeID, a CostAnnounce) (CostAnnounce, bool)
+	// PostRouting rewrites the freshly computed routing table before
+	// it is stored and advertised (computation; manipulation 2).
+	PostRouting func(faithful RoutingTable) RoutingTable
+	// PostPricing rewrites the freshly computed pricing table
+	// (computation; manipulation 4).
+	PostPricing func(faithful PricingTable) PricingTable
+	// SendUpdate intercepts an outgoing Update to a neighbor;
+	// returning ok=false drops it (message passing; manipulations 1,3).
+	SendUpdate func(to graph.NodeID, u Update) (Update, bool)
+}
+
+func (s *Strategy) declareCost(truth graph.Cost) graph.Cost {
+	if s == nil || s.DeclareCost == nil {
+		return truth
+	}
+	return s.DeclareCost(truth)
+}
+
+func (s *Strategy) relayCost(to graph.NodeID, a CostAnnounce) (CostAnnounce, bool) {
+	if s == nil || s.RelayCost == nil {
+		return a, true
+	}
+	return s.RelayCost(to, a)
+}
+
+func (s *Strategy) postRouting(t RoutingTable) RoutingTable {
+	if s == nil || s.PostRouting == nil {
+		return t
+	}
+	return s.PostRouting(t)
+}
+
+func (s *Strategy) postPricing(t PricingTable) PricingTable {
+	if s == nil || s.PostPricing == nil {
+		return t
+	}
+	return s.PostPricing(t)
+}
+
+func (s *Strategy) sendUpdate(to graph.NodeID, u Update) (Update, bool) {
+	if s == nil || s.SendUpdate == nil {
+		return u, true
+	}
+	return s.SendUpdate(to, u)
+}
+
+// Node is one FPSS participant attached to the simulator. It executes
+// the two construction phases; execution-phase accounting is done
+// offline from the converged tables (see Execute).
+type Node struct {
+	id        graph.NodeID
+	trueCost  graph.Cost
+	neighbors []graph.NodeID
+	strategy  *Strategy
+
+	costs   CostTable // DATA1
+	routing RoutingTable
+	pricing PricingTable
+	views   map[graph.NodeID]NeighborView
+
+	phase2  bool
+	adverts int
+}
+
+// advertBudget bounds how many times a node re-advertises its tables.
+// Honest convergence needs at most O(n²) changes (each destination's
+// route strictly improves under the composite order, bounded by hop
+// count); the budget is far above that. Its purpose is to guarantee
+// quiescence even when a deviating strategy induces oscillation —
+// real BGP bounds re-advertisement the same way (MRAI timers) — so the
+// bank's quiescence checkpoint always fires and catches the deviation.
+func (n *Node) advertBudget() int {
+	known := len(n.costs)
+	if known < len(n.neighbors)+1 {
+		known = len(n.neighbors) + 1
+	}
+	return 8*known*known + 32
+}
+
+var _ sim.Handler = (*Node)(nil)
+
+// NewNode builds a protocol node. neighbors is the node's local
+// (semi-private) connectivity knowledge; strategy may be nil for the
+// suggested specification.
+func NewNode(id graph.NodeID, trueCost graph.Cost, neighbors []graph.NodeID, strategy *Strategy) *Node {
+	ns := make([]graph.NodeID, len(neighbors))
+	copy(ns, neighbors)
+	return &Node{
+		id:        id,
+		trueCost:  trueCost,
+		neighbors: ns,
+		strategy:  strategy,
+		costs:     make(CostTable),
+		views:     make(map[graph.NodeID]NeighborView),
+	}
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() graph.NodeID { return n.id }
+
+// Neighbors returns a copy of the node's neighbor list.
+func (n *Node) Neighbors() []graph.NodeID {
+	out := make([]graph.NodeID, len(n.neighbors))
+	copy(out, n.neighbors)
+	return out
+}
+
+// Costs returns the node's DATA1 (declared transit costs seen so far).
+func (n *Node) Costs() CostTable { return n.costs.Clone() }
+
+// Routing returns the node's DATA2.
+func (n *Node) Routing() RoutingTable { return n.routing.Clone() }
+
+// Pricing returns the node's DATA3*.
+func (n *Node) Pricing() PricingTable { return n.pricing.Clone() }
+
+// DeclaredCost returns the cost this node announces (possibly a lie).
+func (n *Node) DeclaredCost() graph.Cost { return n.strategy.declareCost(n.trueCost) }
+
+// Init floods the node's own declared cost (first construction phase).
+func (n *Node) Init(ctx sim.Context) {
+	declared := n.strategy.declareCost(n.trueCost)
+	n.costs[n.id] = declared
+	announce := CostAnnounce{Origin: n.id, Cost: declared}
+	for _, v := range n.neighbors {
+		ctx.Send(sim.Addr(v), announce)
+	}
+}
+
+// Recv dispatches protocol messages.
+func (n *Node) Recv(ctx sim.Context, msg sim.Message) {
+	switch m := msg.Payload.(type) {
+	case CostAnnounce:
+		n.onCostAnnounce(ctx, m)
+	case StartPhase2:
+		n.onStartPhase2(ctx)
+	case Update:
+		n.onUpdate(ctx, m)
+	}
+}
+
+func (n *Node) onCostAnnounce(ctx sim.Context, a CostAnnounce) {
+	if _, known := n.costs[a.Origin]; known {
+		return // flood dedup
+	}
+	n.costs[a.Origin] = a.Cost
+	for _, v := range n.neighbors {
+		if sim.Addr(v) == ctx.Self() { // impossible; defensive
+			continue
+		}
+		relayed, ok := n.strategy.relayCost(v, a)
+		if !ok {
+			continue
+		}
+		ctx.Send(sim.Addr(v), relayed)
+	}
+}
+
+func (n *Node) onStartPhase2(ctx sim.Context) {
+	if n.phase2 {
+		return
+	}
+	n.phase2 = true
+	n.recompute(ctx, true)
+}
+
+func (n *Node) onUpdate(ctx sim.Context, u Update) {
+	if !n.phase2 {
+		// Late-start robustness: an update implies phase 2 has begun.
+		n.phase2 = true
+	}
+	n.views[u.From] = NeighborView{Routing: u.Routing, Pricing: u.Pricing}
+	n.recompute(ctx, false)
+}
+
+// recompute re-runs the suggested computation (with any strategy
+// post-hooks) and advertises to neighbors when something changed.
+func (n *Node) recompute(ctx sim.Context, force bool) {
+	newRouting := n.strategy.postRouting(ComputeRouting(n.id, n.neighbors, n.costs, n.views))
+	newPricing := n.strategy.postPricing(ComputePricing(n.id, n.neighbors, n.costs, newRouting, n.views))
+	changed := !newRouting.Equal(n.routing) || !newPricing.Equal(n.pricing)
+	n.routing = newRouting
+	n.pricing = newPricing
+	if !changed && !force {
+		return
+	}
+	if n.adverts >= n.advertBudget() {
+		return // oscillation damping; see advertBudget
+	}
+	n.adverts++
+	base := Update{From: n.id, Routing: n.routing, Pricing: n.pricing}
+	for _, v := range n.neighbors {
+		u, ok := n.strategy.sendUpdate(v, base.Clone())
+		if !ok {
+			continue
+		}
+		ctx.Send(sim.Addr(v), u)
+	}
+}

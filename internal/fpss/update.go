@@ -1,0 +1,211 @@
+package fpss
+
+import (
+	"repro/internal/graph"
+)
+
+// NeighborView is what a node has most recently heard from one
+// neighbor: the neighbor's full routing and pricing tables. (FPSS
+// sends incremental updates; full-table exchange converges to the
+// same fixpoint and keeps the checker mirrors simple.)
+type NeighborView struct {
+	Routing RoutingTable
+	Pricing PricingTable
+}
+
+// Clone returns a deep copy.
+func (v NeighborView) Clone() NeighborView {
+	return NeighborView{Routing: v.Routing.Clone(), Pricing: v.Pricing.Clone()}
+}
+
+// ComputeRouting recomputes DATA2 for `self` from DATA1 (declared
+// costs) and the latest neighbor views, by one Bellman relaxation over
+// all destinations:
+//
+//	d(self→j) = min over neighbors v:  v == j ? 0 : ĉ_v + d(v→j)
+//
+// with the composite (cost, hops, lex) tie-break. Repeated application
+// as views refresh converges to the centralized solution: values start
+// at infinity and only decrease (static network, non-negative costs).
+//
+// The function is pure — checker nodes re-run it on mirrored inputs to
+// verify a principal's computation ([CHECK1]).
+func ComputeRouting(self graph.NodeID, neighbors []graph.NodeID, costs CostTable, views map[graph.NodeID]NeighborView) RoutingTable {
+	dests := make(map[graph.NodeID]bool)
+	for _, v := range neighbors {
+		dests[v] = true
+		for d := range views[v].Routing {
+			if d != self {
+				dests[d] = true
+			}
+		}
+	}
+	out := make(RoutingTable, len(dests))
+	for j := range dests {
+		var best *RouteEntry
+		for _, v := range neighbors {
+			var cand RouteEntry
+			if v == j {
+				cand = RouteEntry{Dest: j, Cost: 0, Path: graph.Path{self, j}}
+			} else {
+				e, ok := views[v].Routing[j]
+				if !ok {
+					continue
+				}
+				vc, ok := costs[v]
+				if !ok {
+					continue // v's declared cost not yet known (phase 1 incomplete)
+				}
+				path := make(graph.Path, 0, len(e.Path)+1)
+				path = append(path, self)
+				path = append(path, e.Path...)
+				cand = RouteEntry{Dest: j, Cost: vc + e.Cost, Path: path}
+			}
+			if best == nil || graph.Better(cand.Cost, cand.Path, best.Cost, best.Path) {
+				c := cand
+				best = &c
+			}
+		}
+		if best != nil {
+			out[j] = *best
+		}
+	}
+	return out
+}
+
+// ComputePricing recomputes DATA3* for `self`: for every destination j
+// in the routing table and every transit node k on LCP(self→j), the
+// avoid-k value
+//
+//	B^k(self→j) = min over neighbors v ≠ k of
+//	    0                          if v == j
+//	    ĉ_v + B^k(v→j)             if k ∈ LCP(v→j)   (from v's pricing entry)
+//	    ĉ_v + d(v→j)               otherwise          (v's own LCP already avoids k)
+//
+// and the FPSS VCG price p^k = ĉ_k + B^k − d(self→j). The witness path
+// is carried for determinism and checker verification; Tags is the
+// union of the neighbors attaining the minimal cost — the identity-tag
+// field of DATA3* ("the node that triggered the most recent pricing
+// table update", union on ties) that [BANK2] compares.
+//
+// Pure, for the same reason as ComputeRouting ([CHECK2]).
+func ComputePricing(self graph.NodeID, neighbors []graph.NodeID, costs CostTable, routing RoutingTable, views map[graph.NodeID]NeighborView) PricingTable {
+	out := make(PricingTable)
+	for j, route := range routing {
+		transits := route.Path.TransitNodes()
+		if len(transits) == 0 {
+			continue
+		}
+		row := make(map[graph.NodeID]PriceEntry, len(transits))
+		for _, k := range transits {
+			kc, ok := costs[k]
+			if !ok {
+				continue
+			}
+			var (
+				bestCost graph.Cost = graph.Infinity
+				bestPath graph.Path
+			)
+			for _, v := range neighbors {
+				if v == k {
+					continue
+				}
+				var (
+					contribution graph.Cost
+					witness      graph.Path
+					ok           bool
+				)
+				switch {
+				case v == j:
+					contribution, witness, ok = 0, graph.Path{self, j}, true
+				default:
+					contribution, witness, ok = neighborAvoidValue(self, v, j, k, costs, views)
+				}
+				if !ok {
+					continue
+				}
+				if bestPath == nil || graph.Better(contribution, witness, bestCost, bestPath) {
+					bestCost, bestPath = contribution, witness
+				}
+			}
+			if bestPath == nil {
+				continue // no avoid-k information yet; a later update fills it
+			}
+			row[k] = PriceEntry{
+				Transit: k,
+				Price:   kc + bestCost - route.Cost,
+				Avoid:   bestPath,
+				Tags:    tagSet(self, j, k, bestCost, neighbors, costs, views),
+			}
+		}
+		if len(row) > 0 {
+			out[j] = row
+		}
+	}
+	return out
+}
+
+// neighborAvoidValue returns v's best avoid-k continuation toward j as
+// seen by self: the contribution cost, the witness path (self
+// prepended) and whether the value is available yet.
+func neighborAvoidValue(self, v, j, k graph.NodeID, costs CostTable, views map[graph.NodeID]NeighborView) (graph.Cost, graph.Path, bool) {
+	view, ok := views[v]
+	if !ok {
+		return 0, nil, false
+	}
+	vc, ok := costs[v]
+	if !ok {
+		return 0, nil, false
+	}
+	e, ok := view.Routing[j]
+	if !ok {
+		return 0, nil, false
+	}
+	if !e.Path.Contains(k) {
+		// v's own LCP avoids k: d(v→j) is an avoid-k value.
+		path := make(graph.Path, 0, len(e.Path)+1)
+		path = append(path, self)
+		path = append(path, e.Path...)
+		return vc + e.Cost, path, true
+	}
+	pe, ok := view.Pricing[j][k]
+	if !ok {
+		return 0, nil, false
+	}
+	// Recover B^k(v→j) from v's price: p = ĉ_k + B − d  ⇒  B = p − ĉ_k + d.
+	kc, ok := costs[k]
+	if !ok {
+		return 0, nil, false
+	}
+	b := pe.Price - kc + e.Cost
+	path := make(graph.Path, 0, len(pe.Avoid)+1)
+	path = append(path, self)
+	path = append(path, pe.Avoid...)
+	return vc + b, path, true
+}
+
+// tagSet returns the sorted union of neighbors whose contribution cost
+// equals the chosen minimum b.
+func tagSet(self, j, k graph.NodeID, b graph.Cost, neighbors []graph.NodeID, costs CostTable, views map[graph.NodeID]NeighborView) []graph.NodeID {
+	var tags []graph.NodeID
+	for _, v := range neighbors {
+		if v == k {
+			continue
+		}
+		var contribution graph.Cost
+		if v == j {
+			contribution = 0
+		} else {
+			c, _, ok := neighborAvoidValue(self, v, j, k, costs, views)
+			if !ok {
+				continue
+			}
+			contribution = c
+		}
+		if contribution == b {
+			tags = append(tags, v)
+		}
+	}
+	sortIDs(tags)
+	return tags
+}

@@ -1,0 +1,252 @@
+// Package graph provides the network substrate used throughout the
+// reproduction: undirected graphs whose nodes carry per-packet transit
+// costs, as in the FPSS lowest-cost interdomain-routing model
+// (Feigenbaum, Papadimitriou, Sami, Shenker, PODC 2002) that
+// Shneidman & Parkes (PODC 2004) extend.
+//
+// The cost of a path is the sum of the transit costs of its
+// intermediate nodes; endpoints transit for free. Biconnectivity is the
+// standing assumption of FPSS (it makes VCG payments well defined), so
+// the package includes an articulation-point check and generators that
+// only emit biconnected graphs.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node in a Graph. IDs are dense, starting at 0.
+type NodeID int
+
+// Cost is a per-packet transit cost. Costs are non-negative.
+type Cost int64
+
+var (
+	// ErrNodeOutOfRange is returned when an operation references a node
+	// the graph does not contain.
+	ErrNodeOutOfRange = errors.New("graph: node out of range")
+	// ErrSelfLoop is returned when an edge would connect a node to itself.
+	ErrSelfLoop = errors.New("graph: self loop")
+	// ErrNegativeCost is returned when a transit cost is negative.
+	ErrNegativeCost = errors.New("graph: negative transit cost")
+)
+
+// Graph is an undirected graph with per-node transit costs.
+// The zero value is an empty graph; use New to preallocate nodes.
+type Graph struct {
+	costs []Cost
+	adj   []map[NodeID]struct{}
+	names []string
+}
+
+// New returns a graph with n nodes, zero transit costs and no edges.
+func New(n int) *Graph {
+	g := &Graph{
+		costs: make([]Cost, n),
+		adj:   make([]map[NodeID]struct{}, n),
+		names: make([]string, n),
+	}
+	for i := range g.adj {
+		g.adj[i] = make(map[NodeID]struct{})
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.costs) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// AddNode appends a node with the given transit cost and returns its ID.
+func (g *Graph) AddNode(c Cost) (NodeID, error) {
+	if c < 0 {
+		return 0, ErrNegativeCost
+	}
+	g.costs = append(g.costs, c)
+	g.adj = append(g.adj, make(map[NodeID]struct{}))
+	g.names = append(g.names, "")
+	return NodeID(len(g.costs) - 1), nil
+}
+
+func (g *Graph) check(ids ...NodeID) error {
+	for _, id := range ids {
+		if id < 0 || int(id) >= len(g.costs) {
+			return fmt.Errorf("%w: %d (n=%d)", ErrNodeOutOfRange, id, len(g.costs))
+		}
+	}
+	return nil
+}
+
+// AddEdge connects u and v. Adding an existing edge is a no-op.
+func (g *Graph) AddEdge(u, v NodeID) error {
+	if err := g.check(u, v); err != nil {
+		return err
+	}
+	if u == v {
+		return ErrSelfLoop
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	return nil
+}
+
+// HasEdge reports whether u and v are adjacent.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if g.check(u, v) != nil {
+		return false
+	}
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Cost returns the transit cost of node id.
+func (g *Graph) Cost(id NodeID) Cost {
+	if g.check(id) != nil {
+		return 0
+	}
+	return g.costs[id]
+}
+
+// SetCost updates the transit cost of node id.
+func (g *Graph) SetCost(id NodeID, c Cost) error {
+	if err := g.check(id); err != nil {
+		return err
+	}
+	if c < 0 {
+		return ErrNegativeCost
+	}
+	g.costs[id] = c
+	return nil
+}
+
+// Costs returns a copy of the transit-cost vector indexed by NodeID.
+func (g *Graph) Costs() []Cost {
+	out := make([]Cost, len(g.costs))
+	copy(out, g.costs)
+	return out
+}
+
+// SetName attaches a human-readable name to a node (used by the
+// Figure-1 topology: A, B, C, D, X, Z).
+func (g *Graph) SetName(id NodeID, name string) error {
+	if err := g.check(id); err != nil {
+		return err
+	}
+	g.names[id] = name
+	return nil
+}
+
+// Name returns the node's name, or its numeric ID if unnamed.
+func (g *Graph) Name(id NodeID) string {
+	if g.check(id) != nil {
+		return fmt.Sprintf("#%d", id)
+	}
+	if g.names[id] == "" {
+		return fmt.Sprintf("#%d", id)
+	}
+	return g.names[id]
+}
+
+// ByName returns the ID of the node with the given name.
+func (g *Graph) ByName(name string) (NodeID, bool) {
+	for i, n := range g.names {
+		if n == name {
+			return NodeID(i), true
+		}
+	}
+	return 0, false
+}
+
+// Neighbors returns the sorted neighbor list of id.
+func (g *Graph) Neighbors(id NodeID) []NodeID {
+	if g.check(id) != nil {
+		return nil
+	}
+	out := make([]NodeID, 0, len(g.adj[id]))
+	for v := range g.adj[id] {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the number of neighbors of id.
+func (g *Graph) Degree(id NodeID) int {
+	if g.check(id) != nil {
+		return 0
+	}
+	return len(g.adj[id])
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.N())
+	copy(c.costs, g.costs)
+	copy(c.names, g.names)
+	for u, nbrs := range g.adj {
+		for v := range nbrs {
+			c.adj[u][v] = struct{}{}
+		}
+	}
+	return c
+}
+
+// WithoutNode returns a copy of the graph in which node k keeps its
+// ID but loses every incident edge (isolating it). Used to compute
+// VCG marginal values: lowest-cost paths that avoid k.
+func (g *Graph) WithoutNode(k NodeID) (*Graph, error) {
+	if err := g.check(k); err != nil {
+		return nil, err
+	}
+	c := g.Clone()
+	for v := range c.adj[k] {
+		delete(c.adj[v], k)
+	}
+	c.adj[k] = make(map[NodeID]struct{})
+	return c, nil
+}
+
+// WithCosts returns a copy of the graph whose transit-cost vector is
+// replaced by costs. Used to evaluate declared (possibly untruthful)
+// cost profiles against a fixed topology.
+func (g *Graph) WithCosts(costs []Cost) (*Graph, error) {
+	if len(costs) != g.N() {
+		return nil, fmt.Errorf("graph: cost vector length %d != n %d", len(costs), g.N())
+	}
+	for _, c := range costs {
+		if c < 0 {
+			return nil, ErrNegativeCost
+		}
+	}
+	c := g.Clone()
+	copy(c.costs, costs)
+	return c, nil
+}
+
+// Edges returns all undirected edges with u < v, sorted.
+func (g *Graph) Edges() [][2]NodeID {
+	var out [][2]NodeID
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			if NodeID(u) < v {
+				out = append(out, [2]NodeID{NodeID(u), v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

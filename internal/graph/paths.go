@@ -1,0 +1,254 @@
+package graph
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// Infinity is the cost reported for unreachable destinations.
+const Infinity = Cost(math.MaxInt64 / 4)
+
+// ErrNoPath is returned when no path exists between the endpoints.
+var ErrNoPath = errors.New("graph: no path")
+
+// Path is a node sequence from source to destination, inclusive.
+type Path []NodeID
+
+// TransitNodes returns the intermediate nodes of the path.
+func (p Path) TransitNodes() []NodeID {
+	if len(p) <= 2 {
+		return nil
+	}
+	out := make([]NodeID, len(p)-2)
+	copy(out, p[1:len(p)-1])
+	return out
+}
+
+// Contains reports whether the path visits node id (including endpoints).
+func (p Path) Contains(id NodeID) bool {
+	for _, v := range p {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a copy of the path.
+func (p Path) Clone() Path {
+	out := make(Path, len(p))
+	copy(out, p)
+	return out
+}
+
+// Less orders paths lexicographically; used as a deterministic,
+// globally consistent tie-break so every node in a distributed
+// computation agrees on one lowest-cost path per pair.
+func (p Path) Less(q Path) bool {
+	for i := 0; i < len(p) && i < len(q); i++ {
+		if p[i] != q[i] {
+			return p[i] < q[i]
+		}
+	}
+	return len(p) < len(q)
+}
+
+// Better reports whether route (c1, p1) is preferred over (c2, p2)
+// under the composite (cost, hop count, lexicographic) order. The hop
+// tie-break excludes zero-cost cycles, so asynchronous Bellman–Ford
+// relaxation (the distributed FPSS computation) and centralized
+// Dijkstra converge to the same unique route for every pair.
+func Better(c1 Cost, p1 Path, c2 Cost, p2 Path) bool {
+	if c1 != c2 {
+		return c1 < c2
+	}
+	if len(p1) != len(p2) {
+		return len(p1) < len(p2)
+	}
+	return p1.Less(p2)
+}
+
+// Equal reports element-wise equality.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PathCost returns the transit cost of the path under the graph's cost
+// vector: the sum of intermediate node costs. It validates adjacency.
+func (g *Graph) PathCost(p Path) (Cost, error) {
+	if len(p) == 0 {
+		return 0, ErrNoPath
+	}
+	if err := g.check(p...); err != nil {
+		return 0, err
+	}
+	var total Cost
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(p[i], p[i+1]) {
+			return 0, ErrNoPath
+		}
+		if i > 0 {
+			total += g.costs[p[i]]
+		}
+	}
+	return total, nil
+}
+
+// label is a Dijkstra priority-queue entry.
+type label struct {
+	node NodeID
+	dist Cost
+	path Path
+}
+
+type labelHeap []label
+
+func (h labelHeap) Len() int { return len(h) }
+func (h labelHeap) Less(i, j int) bool {
+	return Better(h[i].dist, h[i].path, h[j].dist, h[j].path)
+}
+func (h labelHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *labelHeap) Push(x any)   { *h = append(*h, x.(label)) }
+func (h *labelHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// ShortestPaths computes lowest-cost paths from src to every node,
+// skipping nodes in avoid (which must not include src). Ties are broken
+// by lexicographically smallest path so results are globally unique.
+// Unreachable nodes get cost Infinity and a nil path.
+func (g *Graph) ShortestPaths(src NodeID, avoid map[NodeID]bool) ([]Cost, []Path, error) {
+	if err := g.check(src); err != nil {
+		return nil, nil, err
+	}
+	if avoid[src] {
+		return nil, nil, errors.New("graph: source is in avoid set")
+	}
+	n := g.N()
+	dist := make([]Cost, n)
+	best := make([]Path, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	h := &labelHeap{{node: src, dist: 0, path: Path{src}}}
+	for h.Len() > 0 {
+		cur := heap.Pop(h).(label)
+		u := cur.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		dist[u] = cur.dist
+		best[u] = cur.path
+		// Extending beyond u makes u a transit node (unless u is src).
+		var transit Cost
+		if u != src {
+			transit = g.costs[u]
+		}
+		for _, v := range g.Neighbors(u) {
+			if done[v] || avoid[v] {
+				continue
+			}
+			nd := cur.dist + transit
+			np := append(cur.path.Clone(), v)
+			if best[v] == nil || Better(nd, np, dist[v], best[v]) {
+				// Lazy deletion: push an improved label; stale ones are
+				// skipped via done[]. For tie-breaking we must also push
+				// equal-cost lexicographically smaller labels, tracking
+				// the tentative best path to bound heap growth.
+				dist[v] = nd
+				best[v] = np
+				heap.Push(h, label{node: v, dist: nd, path: np})
+			}
+		}
+	}
+	for i := range best {
+		if !done[i] {
+			best[i] = nil
+			dist[i] = Infinity
+		}
+	}
+	return dist, best, nil
+}
+
+// ShortestPath returns the unique (tie-broken) lowest-cost path and its
+// cost from src to dst.
+func (g *Graph) ShortestPath(src, dst NodeID) (Path, Cost, error) {
+	if err := g.check(src, dst); err != nil {
+		return nil, 0, err
+	}
+	dist, paths, err := g.ShortestPaths(src, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	if paths[dst] == nil {
+		return nil, Infinity, ErrNoPath
+	}
+	return paths[dst], dist[dst], nil
+}
+
+// ShortestPathAvoiding returns the lowest-cost src→dst path that does
+// not transit node k. Used for VCG payments: the marginal value of k.
+func (g *Graph) ShortestPathAvoiding(src, dst, k NodeID) (Path, Cost, error) {
+	if err := g.check(src, dst, k); err != nil {
+		return nil, 0, err
+	}
+	if k == src || k == dst {
+		return nil, 0, errors.New("graph: avoid node is an endpoint")
+	}
+	dist, paths, err := g.ShortestPaths(src, map[NodeID]bool{k: true})
+	if err != nil {
+		return nil, 0, err
+	}
+	if paths[dst] == nil {
+		return nil, Infinity, ErrNoPath
+	}
+	return paths[dst], dist[dst], nil
+}
+
+// AllPairs computes the lowest-cost path matrix. paths[i][j] is nil on
+// the diagonal and for unreachable pairs.
+func (g *Graph) AllPairs() (dist [][]Cost, paths [][]Path, err error) {
+	n := g.N()
+	dist = make([][]Cost, n)
+	paths = make([][]Path, n)
+	for i := 0; i < n; i++ {
+		d, p, e := g.ShortestPaths(NodeID(i), nil)
+		if e != nil {
+			return nil, nil, e
+		}
+		dist[i] = d
+		paths[i] = p
+		paths[i][i] = nil
+	}
+	return dist, paths, nil
+}
+
+// Diameter returns the maximum hop count over all lowest-cost paths,
+// or 0 for graphs with fewer than two nodes.
+func (g *Graph) Diameter() int {
+	_, paths, err := g.AllPairs()
+	if err != nil {
+		return 0
+	}
+	maxHops := 0
+	for i := range paths {
+		for j := range paths[i] {
+			if i == j || paths[i][j] == nil {
+				continue
+			}
+			if h := len(paths[i][j]) - 1; h > maxHops {
+				maxHops = h
+			}
+		}
+	}
+	return maxHops
+}

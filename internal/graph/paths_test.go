@@ -1,0 +1,416 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForce enumerates all simple paths src→dst (skipping avoid) and
+// returns the lowest transit cost with lexicographic tie-break. It is
+// the independent reference implementation for Dijkstra.
+func bruteForce(g *Graph, src, dst NodeID, avoid map[NodeID]bool) (Path, Cost) {
+	var bestPath Path
+	bestCost := Infinity
+	visited := make(map[NodeID]bool)
+	var walk func(u NodeID, path Path, cost Cost)
+	walk = func(u NodeID, path Path, cost Cost) {
+		if u == dst {
+			if bestPath == nil || Better(cost, path, bestCost, bestPath) {
+				bestCost = cost
+				bestPath = path.Clone()
+			}
+			return
+		}
+		for _, v := range g.Neighbors(u) {
+			if visited[v] || avoid[v] {
+				continue
+			}
+			extra := Cost(0)
+			if v != dst {
+				extra = g.Cost(v) // v will be a transit node if we continue past it
+			}
+			visited[v] = true
+			walk(v, append(path, v), cost+extra)
+			visited[v] = false
+		}
+	}
+	visited[src] = true
+	walk(src, Path{src}, 0)
+	return bestPath, bestCost
+}
+
+func TestPathCost(t *testing.T) {
+	g := Figure1()
+	x, _ := g.ByName("X")
+	d, _ := g.ByName("D")
+	c, _ := g.ByName("C")
+	z, _ := g.ByName("Z")
+	got, err := g.PathCost(Path{x, d, c, z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("PathCost(X-D-C-Z) = %d, want 2", got)
+	}
+	if _, err := g.PathCost(Path{x, z}); !errors.Is(err, ErrNoPath) {
+		t.Errorf("PathCost(non-edge) = %v, want ErrNoPath", err)
+	}
+	if _, err := g.PathCost(nil); !errors.Is(err, ErrNoPath) {
+		t.Errorf("PathCost(nil) = %v, want ErrNoPath", err)
+	}
+}
+
+func TestFigure1QuotedFacts(t *testing.T) {
+	g := Figure1()
+	byName := func(s string) NodeID {
+		id, ok := g.ByName(s)
+		if !ok {
+			t.Fatalf("node %s missing", s)
+		}
+		return id
+	}
+	x, z, d, b := byName("X"), byName("Z"), byName("D"), byName("B")
+
+	p, cost, err := g.ShortestPath(x, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2 {
+		t.Errorf("cost(X→Z) = %d, want 2 (paper §4.1)", cost)
+	}
+	want := Path{x, d, byName("C"), z}
+	if !p.Equal(want) {
+		t.Errorf("LCP(X→Z) = %v, want X-D-C-Z", p)
+	}
+
+	_, cost, err = g.ShortestPath(z, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 1 {
+		t.Errorf("cost(Z→D) = %d, want 1 (paper §4.1)", cost)
+	}
+
+	_, cost, err = g.ShortestPath(b, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Errorf("cost(B→D) = %d, want 0 (paper §4.1)", cost)
+	}
+}
+
+func TestFigure1IsBiconnected(t *testing.T) {
+	if !Figure1().IsBiconnected() {
+		t.Error("Figure 1 graph must be biconnected (FPSS assumption)")
+	}
+}
+
+func TestShortestPathAvoiding(t *testing.T) {
+	g := Figure1()
+	x, _ := g.ByName("X")
+	z, _ := g.ByName("Z")
+	c, _ := g.ByName("C")
+	a, _ := g.ByName("A")
+	p, cost, err := g.ShortestPathAvoiding(x, z, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 5 {
+		t.Errorf("cost(X→Z avoiding C) = %d, want 5 (via A)", cost)
+	}
+	if !p.Contains(a) {
+		t.Errorf("path avoiding C should go via A, got %v", p)
+	}
+	if p.Contains(c) {
+		t.Errorf("path contains avoided node: %v", p)
+	}
+	if _, _, err := g.ShortestPathAvoiding(x, z, x); err == nil {
+		t.Error("avoiding an endpoint should error")
+	}
+}
+
+func TestDijkstraAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(5)
+		g, err := RandomBiconnected(n, rng.Intn(2*n), 20, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src := 0; src < n; src++ {
+			dist, paths, err := g.ShortestPaths(NodeID(src), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					continue
+				}
+				wantPath, wantCost := bruteForce(g, NodeID(src), NodeID(dst), nil)
+				if dist[dst] != wantCost {
+					t.Fatalf("trial %d: dist(%d,%d) = %d, brute force %d", trial, src, dst, dist[dst], wantCost)
+				}
+				if !paths[dst].Equal(wantPath) {
+					t.Fatalf("trial %d: path(%d,%d) = %v, brute force %v (tie-break mismatch)",
+						trial, src, dst, paths[dst], wantPath)
+				}
+			}
+		}
+	}
+}
+
+func TestDijkstraAvoidingAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(4)
+		g, err := RandomBiconnected(n, rng.Intn(n), 15, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				for k := 0; k < n; k++ {
+					if src == dst || k == src || k == dst {
+						continue
+					}
+					_, gotCost, err := g.ShortestPathAvoiding(NodeID(src), NodeID(dst), NodeID(k))
+					wantPath, wantCost := bruteForce(g, NodeID(src), NodeID(dst), map[NodeID]bool{NodeID(k): true})
+					if wantPath == nil {
+						if !errors.Is(err, ErrNoPath) {
+							t.Fatalf("expected ErrNoPath, got %v", err)
+						}
+						continue
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gotCost != wantCost {
+						t.Fatalf("avoid dist(%d,%d;-%d) = %d, want %d", src, dst, k, gotCost, wantCost)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	g := New(3)
+	_ = g.AddEdge(0, 1)
+	if _, _, err := g.ShortestPath(0, 2); !errors.Is(err, ErrNoPath) {
+		t.Errorf("ShortestPath to isolated node = %v, want ErrNoPath", err)
+	}
+	dist, paths, err := g.ShortestPaths(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[2] != Infinity || paths[2] != nil {
+		t.Error("unreachable node should have Infinity cost and nil path")
+	}
+}
+
+func TestAllPairsMatchesSingleSource(t *testing.T) {
+	g := Figure1()
+	dist, paths, err := g.AllPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	for i := 0; i < n; i++ {
+		d, p, err := g.ShortestPaths(NodeID(i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			if i == j {
+				if paths[i][j] != nil {
+					t.Error("diagonal path should be nil")
+				}
+				continue
+			}
+			if dist[i][j] != d[j] || !paths[i][j].Equal(p[j]) {
+				t.Errorf("AllPairs(%d,%d) disagrees with single-source", i, j)
+			}
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ring, err := Ring(6, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ring.Diameter(); d < 2 || d > 5 {
+		t.Errorf("ring-6 diameter = %d, want within [2,5]", d)
+	}
+	cl, err := Clique([]Cost{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := cl.Diameter(); d != 1 {
+		t.Errorf("clique diameter = %d, want 1", d)
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	p := Path{1, 2, 3, 4}
+	tr := p.TransitNodes()
+	if len(tr) != 2 || tr[0] != 2 || tr[1] != 3 {
+		t.Errorf("TransitNodes = %v, want [2 3]", tr)
+	}
+	if (Path{1}).TransitNodes() != nil {
+		t.Error("short path should have no transit nodes")
+	}
+	if !p.Contains(3) || p.Contains(9) {
+		t.Error("Contains wrong")
+	}
+	q := p.Clone()
+	q[0] = 9
+	if p[0] != 1 {
+		t.Error("Clone aliased")
+	}
+	if !(Path{1, 2}).Less(Path{1, 3}) || (Path{2}).Less(Path{1, 5}) {
+		t.Error("Less ordering wrong")
+	}
+	if !(Path{1}).Less(Path{1, 2}) {
+		t.Error("prefix should be Less")
+	}
+}
+
+func TestBetterCompositeOrder(t *testing.T) {
+	tests := []struct {
+		name   string
+		c1, c2 Cost
+		p1, p2 Path
+		want   bool
+	}{
+		{"lower cost wins", 1, 2, Path{0, 5, 9}, Path{0, 9}, true},
+		{"higher cost loses", 3, 2, Path{0, 9}, Path{0, 5, 9}, false},
+		{"tie: fewer hops wins", 2, 2, Path{0, 9}, Path{0, 1, 9}, true},
+		{"tie: more hops loses", 2, 2, Path{0, 1, 9}, Path{0, 9}, false},
+		{"full tie: lex wins", 2, 2, Path{0, 1, 9}, Path{0, 2, 9}, true},
+		{"identical: not better", 2, 2, Path{0, 1, 9}, Path{0, 1, 9}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Better(tt.c1, tt.p1, tt.c2, tt.p2); got != tt.want {
+				t.Errorf("Better = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestWithoutNode(t *testing.T) {
+	g := Figure1()
+	c, _ := g.ByName("C")
+	x, _ := g.ByName("X")
+	z, _ := g.ByName("Z")
+	h, err := g.WithoutNode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Degree(c) != 0 {
+		t.Error("removed node should be isolated")
+	}
+	for _, v := range h.Neighbors(z) {
+		if v == c {
+			t.Error("neighbor still references removed node")
+		}
+	}
+	// Original untouched.
+	if g.Degree(c) == 0 {
+		t.Error("WithoutNode mutated original")
+	}
+	// Distances in G−C match ShortestPathAvoiding in G.
+	_, wantCost, err := g.ShortestPathAvoiding(x, z, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gotCost, err := h.ShortestPath(x, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCost != wantCost {
+		t.Errorf("G−C dist = %d, avoid dist = %d", gotCost, wantCost)
+	}
+	if _, err := g.WithoutNode(99); err == nil {
+		t.Error("out of range should error")
+	}
+}
+
+// Property: for random biconnected graphs, the lexicographic tie-break
+// yields identical LCPs computed from either endpoint direction when
+// path cost is symmetric... (costs are on nodes, so cost(i→j) equals
+// cost(j→i); the tie-broken *path* may differ in orientation, but the
+// cost must match).
+func TestPropertySymmetricCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + int(seed%5+5)%5
+		g, err := RandomBiconnected(n, n/2, 12, r)
+		if err != nil {
+			return false
+		}
+		dist, _, err := g.AllPairs()
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if dist[i][j] != dist[j][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding an edge never increases any pairwise distance.
+func TestPropertyEdgeMonotonicity(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5
+		g, err := RandomBiconnected(n, 0, 10, r)
+		if err != nil {
+			return false
+		}
+		before, _, err := g.AllPairs()
+		if err != nil {
+			return false
+		}
+		// Add one random absent edge if there is room.
+		added := false
+		for try := 0; try < 50 && !added; try++ {
+			u := NodeID(r.Intn(n))
+			v := NodeID(r.Intn(n))
+			if u != v && !g.HasEdge(u, v) {
+				_ = g.AddEdge(u, v)
+				added = true
+			}
+		}
+		after, _, err := g.AllPairs()
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if after[i][j] > before[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,245 @@
+// Package livenet runs the same sim.Handler protocol nodes over real
+// goroutines and mailboxes instead of the deterministic event
+// simulator. Message interleavings are then scheduler-dependent — the
+// asynchronous network model the paper (via Griffin–Wilfong) actually
+// assumes.
+//
+// Its purpose in the reproduction is evidence of order-independence:
+// the distributed FPSS computation must converge to the same unique
+// fixpoint (the centralized solution) under *any* delivery order, not
+// just the simulator's canonical one. The livenet tests run the
+// protocol under live concurrency and compare tables against
+// ComputeCentral.
+//
+// Quiescence is detected with a Dijkstra–Scholten-style in-flight
+// counter: every enqueued message holds a credit that is released only
+// after the receiving handler finishes processing it (including any
+// sends that processing performed), so the counter can reach zero only
+// at true quiescence.
+package livenet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Counters mirrors the simulator's traffic accounting (subset).
+type Counters struct {
+	Sent      int64
+	Delivered int64
+}
+
+// Net executes handlers concurrently, one goroutine per address.
+type Net struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	handlers map[sim.Addr]sim.Handler
+	boxes    map[sim.Addr]*mailbox
+	pending  int64 // in-flight credits (messages + unstarted inits)
+	counters Counters
+	started  bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []sim.Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) push(msg sim.Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queue = append(m.queue, msg)
+	m.cond.Signal()
+}
+
+func (m *mailbox) pop() (sim.Message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if m.closed {
+		// Closed wins even with queued messages: Shutdown must stop a
+		// worker whose queue never drains (e.g. a self-spinning node).
+		return sim.Message{}, false
+	}
+	msg := m.queue[0]
+	m.queue = m.queue[1:]
+	return msg, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// New builds a live network over the given handlers.
+func New(handlers map[sim.Addr]sim.Handler) *Net {
+	n := &Net{
+		handlers: make(map[sim.Addr]sim.Handler, len(handlers)),
+		boxes:    make(map[sim.Addr]*mailbox, len(handlers)),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	for a, h := range handlers {
+		n.handlers[a] = h
+		n.boxes[a] = newMailbox()
+	}
+	return n
+}
+
+// liveContext implements sim.Context for a worker goroutine.
+type liveContext struct {
+	net  *Net
+	self sim.Addr
+}
+
+var _ sim.Context = (*liveContext)(nil)
+
+func (c *liveContext) Self() sim.Addr { return c.self }
+
+// Now returns wall-clock nanoseconds — live runs have no logical time.
+func (c *liveContext) Now() int64 { return time.Now().UnixNano() }
+
+func (c *liveContext) Send(to sim.Addr, payload any) {
+	c.net.send(c.self, to, payload)
+}
+
+func (n *Net) send(from, to sim.Addr, payload any) {
+	box, ok := n.boxes[to]
+	n.mu.Lock()
+	n.counters.Sent++
+	if ok {
+		n.pending++
+	}
+	n.mu.Unlock()
+	if !ok {
+		return // unknown destination: discarded, like the simulator
+	}
+	box.push(sim.Message{From: from, To: to, Payload: payload})
+}
+
+// release returns one in-flight credit; at zero it wakes waiters.
+func (n *Net) release() {
+	n.mu.Lock()
+	n.pending--
+	if n.pending == 0 {
+		n.cond.Broadcast()
+	}
+	n.mu.Unlock()
+}
+
+// Start launches one worker per handler. Each worker runs Init first
+// (holding a start credit so quiescence cannot be declared before all
+// inits finish), then consumes its mailbox.
+func (n *Net) Start() error {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return errors.New("livenet: already started")
+	}
+	n.started = true
+	addrs := make([]sim.Addr, 0, len(n.handlers))
+	for a := range n.handlers {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	n.pending += int64(len(addrs)) // one start credit per worker
+	n.mu.Unlock()
+
+	for _, a := range addrs {
+		addr := a
+		h := n.handlers[addr]
+		box := n.boxes[addr]
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			ctx := &liveContext{net: n, self: addr}
+			h.Init(ctx)
+			n.release() // start credit
+			for {
+				msg, ok := box.pop()
+				if !ok {
+					return
+				}
+				n.mu.Lock()
+				n.counters.Delivered++
+				n.mu.Unlock()
+				h.Recv(ctx, msg)
+				n.release() // message credit, after processing completes
+			}
+		}()
+	}
+	return nil
+}
+
+// Inject enqueues an external message (e.g. a phase-change signal).
+func (n *Net) Inject(from, to sim.Addr, payload any) {
+	n.send(from, to, payload)
+}
+
+// ErrTimeout is returned when quiescence is not reached in time.
+var ErrTimeout = errors.New("livenet: quiescence timeout")
+
+// WaitQuiescence blocks until no message is in flight or the timeout
+// elapses. Handlers are guaranteed idle when it returns nil.
+func (n *Net) WaitQuiescence(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		n.mu.Lock()
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for n.pending != 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w (pending %d)", ErrTimeout, n.pending)
+		}
+		n.cond.Wait()
+	}
+	return nil
+}
+
+// Shutdown stops all workers and waits for them to exit. Handler state
+// may be read safely afterwards (the WaitGroup provides the
+// happens-before edge).
+func (n *Net) Shutdown() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.wg.Wait()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, b := range n.boxes {
+		b.close()
+	}
+	n.wg.Wait()
+}
+
+// Counters returns a snapshot of traffic statistics.
+func (n *Net) Counters() Counters {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.counters
+}

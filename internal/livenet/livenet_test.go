@@ -1,0 +1,235 @@
+package livenet
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fpss"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// counterNode counts received ints and echoes decremented values.
+type counterNode struct {
+	mu   sync.Mutex
+	got  int
+	peer sim.Addr
+	kick bool
+}
+
+func (c *counterNode) Init(ctx sim.Context) {
+	if c.kick {
+		ctx.Send(c.peer, 3)
+	}
+}
+
+func (c *counterNode) Recv(ctx sim.Context, m sim.Message) {
+	v, ok := m.Payload.(int)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	c.got++
+	c.mu.Unlock()
+	if v > 0 {
+		ctx.Send(m.From, v-1)
+	}
+}
+
+func TestPingPongQuiesces(t *testing.T) {
+	a := &counterNode{peer: 1, kick: true}
+	b := &counterNode{peer: 0}
+	n := New(map[sim.Addr]sim.Handler{0: a, 1: b})
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.WaitQuiescence(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	n.Shutdown()
+	if a.got+b.got != 4 {
+		t.Errorf("total deliveries = %d, want 4", a.got+b.got)
+	}
+	c := n.Counters()
+	if c.Sent != 4 || c.Delivered != 4 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestDoubleStartRejected(t *testing.T) {
+	n := New(map[sim.Addr]sim.Handler{0: &counterNode{}})
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err == nil {
+		t.Error("second Start should error")
+	}
+	if err := n.WaitQuiescence(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	n.Shutdown()
+}
+
+func TestUnknownDestinationDiscarded(t *testing.T) {
+	a := &counterNode{peer: 99, kick: true}
+	n := New(map[sim.Addr]sim.Handler{0: a})
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.WaitQuiescence(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	n.Shutdown()
+	if c := n.Counters(); c.Sent != 1 || c.Delivered != 0 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+// spinner never stops sending to itself; quiescence must time out.
+type spinner struct{}
+
+func (s *spinner) Init(ctx sim.Context)                { ctx.Send(ctx.Self(), 1) }
+func (s *spinner) Recv(ctx sim.Context, m sim.Message) { ctx.Send(ctx.Self(), 1) }
+
+func TestWaitQuiescenceTimeout(t *testing.T) {
+	n := New(map[sim.Addr]sim.Handler{0: &spinner{}})
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	err := n.WaitQuiescence(50 * time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+	n.Shutdown()
+}
+
+// TestFPSSOrderIndependence is the headline livenet test: the same
+// fpss.Node handlers that run on the deterministic simulator run under
+// real goroutine concurrency, and the converged tables must still
+// equal the centralized solution — the fixpoint is delivery-order
+// independent, as the composite route order guarantees.
+func TestFPSSOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 5; trial++ {
+		var g *graph.Graph
+		var err error
+		if trial == 0 {
+			g = graph.Figure1()
+		} else {
+			g, err = graph.RandomBiconnected(4+rng.Intn(5), rng.Intn(6), 9, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		sol, err := fpss.ComputeCentral(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		handlers := make(map[sim.Addr]sim.Handler, g.N())
+		nodes := make(map[graph.NodeID]*fpss.Node, g.N())
+		for i := 0; i < g.N(); i++ {
+			id := graph.NodeID(i)
+			node := fpss.NewNode(id, g.Cost(id), g.Neighbors(id), nil)
+			nodes[id] = node
+			handlers[sim.Addr(id)] = node
+		}
+		n := New(handlers)
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// Phase 1 quiescence, then the phase-2 green light, as the
+		// bank would do it.
+		if err := n.WaitQuiescence(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < g.N(); i++ {
+			n.Inject(fpss.BankAddr, sim.Addr(i), fpss.StartPhase2{})
+		}
+		if err := n.WaitQuiescence(30 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		n.Shutdown()
+
+		for id, node := range nodes {
+			if !node.Routing().Equal(sol.Routing[id]) {
+				t.Fatalf("trial %d: node %d routing diverged under live concurrency", trial, id)
+			}
+			if !node.Pricing().Equal(sol.Pricing[id]) {
+				t.Fatalf("trial %d: node %d pricing diverged under live concurrency", trial, id)
+			}
+		}
+	}
+}
+
+func TestFPSSLiveWithDeviatorStillConverges(t *testing.T) {
+	// Live concurrency with a lying node: the protocol still reaches
+	// quiescence (advert budgets bound oscillation) and the lie's
+	// effect matches the deterministic run's effect (Example 1: the
+	// X→Z LCP flips to X-A-Z).
+	g := graph.Figure1()
+	c, _ := g.ByName("C")
+	x, _ := g.ByName("X")
+	z, _ := g.ByName("Z")
+	a, _ := g.ByName("A")
+
+	handlers := make(map[sim.Addr]sim.Handler, g.N())
+	nodes := make(map[graph.NodeID]*fpss.Node, g.N())
+	for i := 0; i < g.N(); i++ {
+		id := graph.NodeID(i)
+		var strat *fpss.Strategy
+		if id == c {
+			strat = &fpss.Strategy{DeclareCost: func(graph.Cost) graph.Cost { return 5 }}
+		}
+		node := fpss.NewNode(id, g.Cost(id), g.Neighbors(id), strat)
+		nodes[id] = node
+		handlers[sim.Addr(id)] = node
+	}
+	n := New(handlers)
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.WaitQuiescence(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.N(); i++ {
+		n.Inject(fpss.BankAddr, sim.Addr(i), fpss.StartPhase2{})
+	}
+	if err := n.WaitQuiescence(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	n.Shutdown()
+
+	route := nodes[x].Routing()[z]
+	if !route.Path.Equal(graph.Path{x, a, z}) {
+		t.Errorf("X→Z under live lie = %v, want X-A-Z", route.Path)
+	}
+}
+
+func BenchmarkLiveFPSSFigure1(b *testing.B) {
+	g := graph.Figure1()
+	for i := 0; i < b.N; i++ {
+		handlers := make(map[sim.Addr]sim.Handler, g.N())
+		for j := 0; j < g.N(); j++ {
+			id := graph.NodeID(j)
+			handlers[sim.Addr(id)] = fpss.NewNode(id, g.Cost(id), g.Neighbors(id), nil)
+		}
+		n := New(handlers)
+		if err := n.Start(); err != nil {
+			b.Fatal(err)
+		}
+		if err := n.WaitQuiescence(10 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < g.N(); j++ {
+			n.Inject(fpss.BankAddr, sim.Addr(j), fpss.StartPhase2{})
+		}
+		if err := n.WaitQuiescence(30 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		n.Shutdown()
+	}
+}

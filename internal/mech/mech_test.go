@@ -1,0 +1,231 @@
+package mech
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// secondPriceAuction models a single-item auction as a VCG instance:
+// outcome o = index of winner, value = own type if winner else 0.
+func secondPriceAuction(n int) *VCG {
+	return &VCG{
+		NumOutcomes: n,
+		Value: func(i, o int, t Type) int64 {
+			if i == o {
+				return t
+			}
+			return 0
+		},
+	}
+}
+
+func TestVCGSecondPriceWinner(t *testing.T) {
+	v := secondPriceAuction(3)
+	o, err := v.Outcome(Profile{3, 7, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != 1 {
+		t.Errorf("winner = %d, want 1 (highest bid)", o)
+	}
+	tr, err := v.Transfers(Profile{3, 7, 5}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Winner pays the second price (5): transfer = 0 - 5 = -5.
+	if tr[1] != -5 {
+		t.Errorf("winner transfer = %d, want -5", tr[1])
+	}
+	if tr[0] != 0 || tr[2] != 0 {
+		t.Errorf("loser transfers = %v, want 0", tr)
+	}
+}
+
+func TestVCGTieBreakLowestIndex(t *testing.T) {
+	v := secondPriceAuction(3)
+	o, err := v.Outcome(Profile{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != 0 {
+		t.Errorf("tie winner = %d, want 0", o)
+	}
+}
+
+func TestVCGIsStrategyproof(t *testing.T) {
+	v := secondPriceAuction(3)
+	viol, err := CheckStrategyproof[int](v, v.TruthfulValue(), 3, []Type{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viol) != 0 {
+		t.Errorf("VCG has strategyproofness violations: %v", viol[0])
+	}
+}
+
+// firstPrice is the classic manipulable counterexample: winner pays
+// own bid.
+type firstPrice struct{ n int }
+
+func (f *firstPrice) Outcome(reports Profile) (int, error) {
+	best := 0
+	for i, r := range reports {
+		if r > reports[best] {
+			best = i
+		}
+	}
+	return best, nil
+}
+
+func (f *firstPrice) Transfers(reports Profile, o int) ([]int64, error) {
+	out := make([]int64, len(reports))
+	out[o] = -reports[o]
+	return out, nil
+}
+
+func TestFirstPriceIsNotStrategyproof(t *testing.T) {
+	f := &firstPrice{n: 2}
+	u := func(i, o int, trueType Type) int64 {
+		if i == o {
+			return trueType
+		}
+		return 0
+	}
+	viol, err := CheckStrategyproof[int](f, u, 2, []Type{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viol) == 0 {
+		t.Fatal("first-price auction should have violations")
+	}
+	// A sample violation: bidding below true value while still winning.
+	found := false
+	for _, v := range viol {
+		if v.Misreport < v.TrueType && v.Gain > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("expected an underbidding violation, got %v", viol)
+	}
+}
+
+func TestProfileHelpers(t *testing.T) {
+	p := Profile{1, 2, 3}
+	q := p.With(1, 9)
+	if p[1] != 2 {
+		t.Error("With mutated original")
+	}
+	if q[1] != 9 || q[0] != 1 || q[2] != 3 {
+		t.Errorf("With = %v", q)
+	}
+	c := p.Clone()
+	c[0] = 7
+	if p[0] != 1 {
+		t.Error("Clone aliased")
+	}
+}
+
+func TestTotalUtilityErrors(t *testing.T) {
+	v := secondPriceAuction(2)
+	if _, err := TotalUtility[int](v, v.TruthfulValue(), Profile{1}, Profile{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestCheckStrategyproofValidation(t *testing.T) {
+	v := secondPriceAuction(1)
+	if _, err := CheckStrategyproof[int](v, v.TruthfulValue(), 0, []Type{1}); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := CheckStrategyproof[int](v, v.TruthfulValue(), 1, nil); err == nil {
+		t.Error("empty type space should error")
+	}
+}
+
+func TestVCGNoOutcomes(t *testing.T) {
+	v := &VCG{NumOutcomes: 0, Value: func(int, int, Type) int64 { return 0 }}
+	if _, err := v.Outcome(Profile{1}); err == nil {
+		t.Error("VCG with no outcomes should error")
+	}
+}
+
+// Property: in a random-valuation VCG, unilateral misreports never
+// strictly increase utility (spot-check of dominant-strategy IC beyond
+// the exhaustive auction test).
+func TestPropertyVCGTruthfulDominant(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, outcomes := 3, 4
+		// Random separable valuations: value(i,o,t) = t * weight[i][o].
+		w := make([][]int64, n)
+		for i := range w {
+			w[i] = make([]int64, outcomes)
+			for o := range w[i] {
+				w[i][o] = int64(rng.Intn(5))
+			}
+		}
+		v := &VCG{
+			NumOutcomes: outcomes,
+			Value:       func(i, o int, t Type) int64 { return t * w[i][o] },
+		}
+		truth := make(Profile, n)
+		for i := range truth {
+			truth[i] = int64(rng.Intn(6))
+		}
+		base, err := TotalUtility[int](v, v.TruthfulValue(), truth, truth)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for lie := Type(0); lie < 6; lie++ {
+				if lie == truth[i] {
+					continue
+				}
+				got, err := TotalUtility[int](v, v.TruthfulValue(), truth.With(i, lie), truth)
+				if err != nil {
+					return false
+				}
+				if got[i] > base[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: VCG transfers are never positive under Clarke pivot
+// (nodes pay their externality; no node is subsidized).
+func TestPropertyClarkePaymentsNonPositive(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := secondPriceAuction(4)
+		reports := make(Profile, 4)
+		for i := range reports {
+			reports[i] = int64(rng.Intn(20))
+		}
+		o, err := v.Outcome(reports)
+		if err != nil {
+			return false
+		}
+		tr, err := v.Transfers(reports, o)
+		if err != nil {
+			return false
+		}
+		for _, x := range tr {
+			if x > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

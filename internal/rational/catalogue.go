@@ -1,0 +1,359 @@
+// Package rational implements the paper's rational-manipulation
+// failure model (§3.6): a catalogue of named deviations from the
+// suggested FPSS specification — cost misreports, dropped / changed /
+// spoofed routing and pricing updates, table miscomputation, and
+// execution-phase payment fraud (§4.3 manipulations 1–4 plus joint
+// combinations) — together with core.System adapters that play each
+// deviation against the plain FPSS protocol and against the faithful
+// extension. core.CheckFaithfulness over these systems is the
+// deviation search of experiment E6: plain FPSS admits profitable
+// deviations; the extended specification admits none.
+package rational
+
+import (
+	"repro/internal/faithful"
+	"repro/internal/fpss"
+	"repro/internal/graph"
+	"repro/internal/spec"
+)
+
+// Ctx identifies the deviating node within a concrete scenario.
+type Ctx struct {
+	Graph *graph.Graph
+	Node  graph.NodeID
+}
+
+// Deviation is one catalogued alternative strategy, with realizations
+// for both protocol variants. Fields are nil when a part does not
+// apply.
+type Deviation struct {
+	name    string
+	classes []spec.ActionKind
+	// protocol builds the construction-phase deviation (shared by
+	// plain FPSS and the faithful protocol's Protocol field).
+	protocol func(Ctx) *fpss.Strategy
+	// reportPayment is the execution-phase deviation.
+	reportPayment func(truth fpss.PaymentList) fpss.PaymentList
+	// checker builds deviations in the faithful protocol's checker
+	// layer (forward drops/tampering, spoofed copies, report lies);
+	// nil for deviations that exist in plain FPSS too.
+	checker func(Ctx) *faithful.Strategy
+	// faithfulOnly marks deviations meaningless in plain FPSS.
+	faithfulOnly bool
+}
+
+// Name implements core.Deviation.
+func (d *Deviation) Name() string { return d.name }
+
+// Classes implements core.Deviation.
+func (d *Deviation) Classes() []spec.ActionKind {
+	out := make([]spec.ActionKind, len(d.classes))
+	copy(out, d.classes)
+	return out
+}
+
+// Catalogue returns the full deviation list. Deviations whose checker
+// layer only exists in the faithful protocol are included only when
+// forFaithful is true.
+func Catalogue(forFaithful bool) []*Deviation {
+	all := []*Deviation{
+		{
+			name:    "misreport-cost-inflate",
+			classes: []spec.ActionKind{spec.InfoRevelation},
+			protocol: func(Ctx) *fpss.Strategy {
+				return &fpss.Strategy{DeclareCost: func(t graph.Cost) graph.Cost { return t + 4 }}
+			},
+		},
+		{
+			name:    "misreport-cost-zero",
+			classes: []spec.ActionKind{spec.InfoRevelation},
+			protocol: func(Ctx) *fpss.Strategy {
+				return &fpss.Strategy{DeclareCost: func(graph.Cost) graph.Cost { return 0 }}
+			},
+		},
+		{
+			name:    "drop-cost-relays",
+			classes: []spec.ActionKind{spec.MessagePassing},
+			protocol: func(Ctx) *fpss.Strategy {
+				return &fpss.Strategy{RelayCost: func(graph.NodeID, fpss.CostAnnounce) (fpss.CostAnnounce, bool) {
+					return fpss.CostAnnounce{}, false
+				}}
+			},
+		},
+		{
+			name:    "inflate-relayed-costs",
+			classes: []spec.ActionKind{spec.MessagePassing},
+			protocol: func(ctx Ctx) *fpss.Strategy {
+				self := ctx.Node
+				return &fpss.Strategy{RelayCost: func(_ graph.NodeID, a fpss.CostAnnounce) (fpss.CostAnnounce, bool) {
+					if a.Origin != self {
+						a.Cost += 25
+					}
+					return a, true
+				}}
+			},
+		},
+		{
+			// Manipulation 2: advertise artificially cheap routes to
+			// attract transit traffic at inflated VCG premiums.
+			name:    "miscompute-routing-attract",
+			classes: []spec.ActionKind{spec.Computation},
+			protocol: func(Ctx) *fpss.Strategy {
+				return &fpss.Strategy{PostRouting: func(rt fpss.RoutingTable) fpss.RoutingTable {
+					for d, e := range rt {
+						e.Cost = 0
+						rt[d] = e
+					}
+					return rt
+				}}
+			},
+		},
+		{
+			// Manipulation 2 (repel): advertise inflated routes to shed
+			// unprofitable transit load.
+			name:    "miscompute-routing-repel",
+			classes: []spec.ActionKind{spec.Computation},
+			protocol: func(Ctx) *fpss.Strategy {
+				return &fpss.Strategy{PostRouting: func(rt fpss.RoutingTable) fpss.RoutingTable {
+					for d, e := range rt {
+						e.Cost += 40
+						rt[d] = e
+					}
+					return rt
+				}}
+			},
+		},
+		{
+			// Manipulation 4: corrupt advertised pricing data.
+			name:    "miscompute-pricing-inflate",
+			classes: []spec.ActionKind{spec.Computation},
+			protocol: func(Ctx) *fpss.Strategy {
+				return &fpss.Strategy{PostPricing: func(pt fpss.PricingTable) fpss.PricingTable {
+					for _, row := range pt {
+						for k, e := range row {
+							e.Price += 30
+							row[k] = e
+						}
+					}
+					return pt
+				}}
+			},
+		},
+		{
+			// Manipulation 3 (change): tamper outgoing advertisements
+			// without touching internal state.
+			name:    "tamper-adverts",
+			classes: []spec.ActionKind{spec.MessagePassing, spec.Computation},
+			protocol: func(Ctx) *fpss.Strategy {
+				return &fpss.Strategy{SendUpdate: func(_ graph.NodeID, u fpss.Update) (fpss.Update, bool) {
+					for d, e := range u.Routing {
+						e.Cost = 0
+						u.Routing[d] = e
+					}
+					return u, true
+				}}
+			},
+		},
+		{
+			// Manipulation 1 (drop): stop advertising entirely.
+			name:    "drop-adverts",
+			classes: []spec.ActionKind{spec.MessagePassing},
+			protocol: func(Ctx) *fpss.Strategy {
+				return &fpss.Strategy{SendUpdate: func(graph.NodeID, fpss.Update) (fpss.Update, bool) {
+					return fpss.Update{}, false
+				}}
+			},
+		},
+		{
+			// Spoof in the plain protocol: impersonate another node in
+			// advertisements to poison a neighbor's view of it.
+			name:    "impersonate-neighbor",
+			classes: []spec.ActionKind{spec.MessagePassing, spec.Computation},
+			protocol: func(ctx Ctx) *fpss.Strategy {
+				neighbors := ctx.Graph.Neighbors(ctx.Node)
+				if len(neighbors) == 0 {
+					return nil
+				}
+				victim := neighbors[0]
+				return &fpss.Strategy{SendUpdate: func(_ graph.NodeID, u fpss.Update) (fpss.Update, bool) {
+					u.From = victim
+					for d, e := range u.Routing {
+						e.Cost += 60
+						u.Routing[d] = e
+					}
+					return u, true
+				}}
+			},
+		},
+		{
+			// Tag-only corruption: prices stay right but the identity
+			// tags lie — exactly the inconsistency [BANK2] compares.
+			name:    "tamper-pricing-tags",
+			classes: []spec.ActionKind{spec.Computation},
+			protocol: func(ctx Ctx) *fpss.Strategy {
+				self := ctx.Node
+				return &fpss.Strategy{PostPricing: func(pt fpss.PricingTable) fpss.PricingTable {
+					for _, row := range pt {
+						for k, e := range row {
+							e.Tags = []graph.NodeID{self}
+							row[k] = e
+						}
+					}
+					return pt
+				}}
+			},
+		},
+		{
+			// Manipulation 1 (selective): advertise honestly to some
+			// neighbors but silently starve one of updates.
+			name:    "selective-drop-adverts",
+			classes: []spec.ActionKind{spec.MessagePassing},
+			protocol: func(ctx Ctx) *fpss.Strategy {
+				neighbors := ctx.Graph.Neighbors(ctx.Node)
+				if len(neighbors) == 0 {
+					return nil
+				}
+				victim := neighbors[len(neighbors)-1]
+				return &fpss.Strategy{SendUpdate: func(to graph.NodeID, u fpss.Update) (fpss.Update, bool) {
+					if to == victim {
+						return fpss.Update{}, false
+					}
+					return u, true
+				}}
+			},
+		},
+		{
+			// Manipulation 3 (change): deflate advertised avoid-k
+			// prices, corrupting downstream B-value recovery.
+			name:    "deflate-advertised-prices",
+			classes: []spec.ActionKind{spec.MessagePassing, spec.Computation},
+			protocol: func(Ctx) *fpss.Strategy {
+				return &fpss.Strategy{SendUpdate: func(_ graph.NodeID, u fpss.Update) (fpss.Update, bool) {
+					for _, row := range u.Pricing {
+						for k, e := range row {
+							e.Price /= 2
+							row[k] = e
+						}
+					}
+					return u, true
+				}}
+			},
+		},
+		{
+			name:          "underreport-payments-all",
+			classes:       []spec.ActionKind{spec.Computation},
+			reportPayment: func(fpss.PaymentList) fpss.PaymentList { return fpss.PaymentList{} },
+		},
+		{
+			name:    "underreport-payments-half",
+			classes: []spec.ActionKind{spec.Computation},
+			reportPayment: func(t fpss.PaymentList) fpss.PaymentList {
+				out := make(fpss.PaymentList, len(t))
+				for k, v := range t {
+					out[k] = v / 2
+				}
+				return out
+			},
+		},
+		{
+			// Joint deviation (strong-AC/strong-CC territory): lie about
+			// the cost AND miscompute routing AND underreport payments.
+			name:    "joint-lie-miscompute-underreport",
+			classes: []spec.ActionKind{spec.InfoRevelation, spec.Computation, spec.MessagePassing},
+			protocol: func(Ctx) *fpss.Strategy {
+				return &fpss.Strategy{
+					DeclareCost: func(t graph.Cost) graph.Cost { return t + 3 },
+					PostRouting: func(rt fpss.RoutingTable) fpss.RoutingTable {
+						for d, e := range rt {
+							e.Cost = 0
+							rt[d] = e
+						}
+						return rt
+					},
+				}
+			},
+			reportPayment: func(fpss.PaymentList) fpss.PaymentList { return fpss.PaymentList{} },
+		},
+	}
+
+	if !forFaithful {
+		return all
+	}
+	all = append(all,
+		&Deviation{
+			name:         "drop-checker-forwards",
+			classes:      []spec.ActionKind{spec.MessagePassing},
+			faithfulOnly: true,
+			checker: func(Ctx) *faithful.Strategy {
+				return &faithful.Strategy{ForwardToChecker: func(graph.NodeID, faithful.ForwardCopy) (faithful.ForwardCopy, bool) {
+					return faithful.ForwardCopy{}, false
+				}}
+			},
+		},
+		&Deviation{
+			name:         "tamper-checker-forwards",
+			classes:      []spec.ActionKind{spec.MessagePassing},
+			faithfulOnly: true,
+			checker: func(Ctx) *faithful.Strategy {
+				return &faithful.Strategy{ForwardToChecker: func(_ graph.NodeID, fc faithful.ForwardCopy) (faithful.ForwardCopy, bool) {
+					for d, e := range fc.U.Routing {
+						e.Cost++
+						fc.U.Routing[d] = e
+					}
+					return fc, true
+				}}
+			},
+		},
+		&Deviation{
+			name:         "spoof-checker-copies",
+			classes:      []spec.ActionKind{spec.MessagePassing, spec.Computation},
+			faithfulOnly: true,
+			checker: func(ctx Ctx) *faithful.Strategy {
+				neighbors := ctx.Graph.Neighbors(ctx.Node)
+				if len(neighbors) == 0 {
+					return nil
+				}
+				source := neighbors[0]
+				return &faithful.Strategy{SpoofCopies: func(self graph.NodeID) []faithful.ForwardCopy {
+					rt := make(fpss.RoutingTable)
+					for i := 0; i < ctx.Graph.N(); i++ {
+						d := graph.NodeID(i)
+						if d == source || d == self {
+							continue
+						}
+						rt[d] = fpss.RouteEntry{Dest: d, Cost: 0, Path: graph.Path{source, d}}
+					}
+					return []faithful.ForwardCopy{{
+						Principal: self,
+						From:      source,
+						U:         fpss.Update{From: source, Routing: rt, Pricing: fpss.PricingTable{}},
+					}}
+				}}
+			},
+		},
+		&Deviation{
+			name:         "lie-state-report",
+			classes:      []spec.ActionKind{spec.Computation},
+			faithfulOnly: true,
+			checker: func(Ctx) *faithful.Strategy {
+				return &faithful.Strategy{
+					Protocol: fpss.Strategy{PostPricing: func(pt fpss.PricingTable) fpss.PricingTable {
+						for _, row := range pt {
+							for k, e := range row {
+								e.Price += 11
+								row[k] = e
+							}
+						}
+						return pt
+					}},
+					ReportState: func(truth faithfulStateReport) faithfulStateReport {
+						truth.Flags = nil
+						truth.PricingHash = fpss.Hash{}
+						return truth
+					},
+				}
+			},
+		},
+	)
+	return all
+}

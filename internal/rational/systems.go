@@ -1,0 +1,206 @@
+package rational
+
+import (
+	"fmt"
+
+	"repro/internal/bank"
+	"repro/internal/core"
+	"repro/internal/faithful"
+	"repro/internal/fpss"
+	"repro/internal/graph"
+)
+
+// faithfulStateReport aliases the bank's report type for hook literals.
+type faithfulStateReport = bank.StateReport
+
+// Params are the shared economic parameters of a scenario.
+type Params struct {
+	Traffic            fpss.Traffic
+	DeliveryValue      int64
+	UndeliveredPenalty int64
+	// Scheme selects the plain-FPSS pricing rule (VCG by default).
+	Scheme fpss.PricingScheme
+	// NonProgressPenalty / Epsilon apply to the faithful protocol.
+	NonProgressPenalty int64
+	Epsilon            int64
+	// CheckerLimit caps checkers per principal in the faithful
+	// protocol (0 = all neighbors; ablation E11).
+	CheckerLimit int
+}
+
+// DefaultParams returns sane experiment parameters for a graph.
+func DefaultParams(g *graph.Graph) Params {
+	return Params{
+		Traffic:            fpss.AllToAllTraffic(g.N(), 1),
+		DeliveryValue:      10_000,
+		UndeliveredPenalty: 10_000,
+		Scheme:             fpss.SchemeVCG,
+		NonProgressPenalty: 1_000_000,
+		Epsilon:            1,
+	}
+}
+
+// PlainSystem plays deviations against the *original* FPSS protocol:
+// obedient network assumed by FPSS, no checkers, accounting that
+// trusts reported payments. It implements core.System.
+type PlainSystem struct {
+	Graph  *graph.Graph
+	Params Params
+}
+
+var _ core.System = (*PlainSystem)(nil)
+
+// Nodes implements core.System.
+func (s *PlainSystem) Nodes() []core.NodeID {
+	out := make([]core.NodeID, s.Graph.N())
+	for i := range out {
+		out[i] = core.NodeID(i)
+	}
+	return out
+}
+
+// Deviations implements core.System.
+func (s *PlainSystem) Deviations(core.NodeID) []core.Deviation {
+	cat := Catalogue(false)
+	out := make([]core.Deviation, 0, len(cat))
+	for _, d := range cat {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Run implements core.System.
+func (s *PlainSystem) Run(deviator core.NodeID, dev core.Deviation) (core.Outcome, error) {
+	var strategies map[graph.NodeID]*fpss.Strategy
+	var reportHooks map[graph.NodeID]func(fpss.PaymentList) fpss.PaymentList
+	if dev != nil && deviator >= 0 {
+		d, ok := dev.(*Deviation)
+		if !ok {
+			return core.Outcome{}, fmt.Errorf("rational: foreign deviation %q", dev.Name())
+		}
+		node := graph.NodeID(deviator)
+		ctx := Ctx{Graph: s.Graph, Node: node}
+		if d.protocol != nil {
+			strategies = map[graph.NodeID]*fpss.Strategy{node: d.protocol(ctx)}
+		}
+		if d.reportPayment != nil {
+			reportHooks = map[graph.NodeID]func(fpss.PaymentList) fpss.PaymentList{node: d.reportPayment}
+		}
+	}
+	res, err := fpss.Run(fpss.Config{Graph: s.Graph, Strategies: strategies})
+	if err != nil {
+		return core.Outcome{}, fmt.Errorf("plain run: %w", err)
+	}
+	routing := make(map[graph.NodeID]fpss.RoutingTable, len(res.Nodes))
+	pricing := make(map[graph.NodeID]fpss.PricingTable, len(res.Nodes))
+	declared := make(fpss.CostTable, len(res.Nodes))
+	trueCosts := make(fpss.CostTable, len(res.Nodes))
+	for id, node := range res.Nodes {
+		routing[id] = node.Routing()
+		pricing[id] = node.Pricing()
+		declared[id] = node.DeclaredCost()
+		trueCosts[id] = s.Graph.Cost(id)
+	}
+	exec, err := fpss.Execute(routing, pricing, fpss.ExecConfig{
+		TrueCosts:          trueCosts,
+		DeclaredCosts:      declared,
+		Traffic:            s.Params.Traffic,
+		DeliveryValue:      s.Params.DeliveryValue,
+		UndeliveredPenalty: s.Params.UndeliveredPenalty,
+		Scheme:             s.Params.Scheme,
+		ReportPayment:      reportHooks,
+	})
+	if err != nil {
+		return core.Outcome{}, fmt.Errorf("plain execute: %w", err)
+	}
+	out := core.Outcome{Utilities: make(map[core.NodeID]int64, len(exec.Utilities)), Completed: true}
+	for id, u := range exec.Utilities {
+		out.Utilities[core.NodeID(id)] = u
+	}
+	return out, nil
+}
+
+// FaithfulSystem plays deviations against the paper's extended FPSS
+// specification. It implements core.System.
+type FaithfulSystem struct {
+	Graph  *graph.Graph
+	Params Params
+}
+
+var _ core.System = (*FaithfulSystem)(nil)
+
+// Nodes implements core.System.
+func (s *FaithfulSystem) Nodes() []core.NodeID {
+	out := make([]core.NodeID, s.Graph.N())
+	for i := range out {
+		out[i] = core.NodeID(i)
+	}
+	return out
+}
+
+// Deviations implements core.System.
+func (s *FaithfulSystem) Deviations(core.NodeID) []core.Deviation {
+	cat := Catalogue(true)
+	out := make([]core.Deviation, 0, len(cat))
+	for _, d := range cat {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Run implements core.System.
+func (s *FaithfulSystem) Run(deviator core.NodeID, dev core.Deviation) (core.Outcome, error) {
+	var strategies map[graph.NodeID]*faithful.Strategy
+	if dev != nil && deviator >= 0 {
+		d, ok := dev.(*Deviation)
+		if !ok {
+			return core.Outcome{}, fmt.Errorf("rational: foreign deviation %q", dev.Name())
+		}
+		node := graph.NodeID(deviator)
+		ctx := Ctx{Graph: s.Graph, Node: node}
+		st := &faithful.Strategy{}
+		if d.checker != nil {
+			if built := d.checker(ctx); built != nil {
+				st = built
+			}
+		}
+		if d.protocol != nil {
+			if p := d.protocol(ctx); p != nil {
+				st.Protocol = *p
+			}
+		}
+		if d.reportPayment != nil {
+			st.ReportPayment = d.reportPayment
+		}
+		strategies = map[graph.NodeID]*faithful.Strategy{node: st}
+	}
+	res, err := faithful.Run(faithful.Config{
+		Graph:              s.Graph,
+		Strategies:         strategies,
+		Traffic:            s.Params.Traffic,
+		DeliveryValue:      s.Params.DeliveryValue,
+		UndeliveredPenalty: s.Params.UndeliveredPenalty,
+		NonProgressPenalty: s.Params.NonProgressPenalty,
+		Epsilon:            s.Params.Epsilon,
+		CheckerLimit:       s.Params.CheckerLimit,
+	})
+	if err != nil {
+		return core.Outcome{}, fmt.Errorf("faithful run: %w", err)
+	}
+	out := core.Outcome{
+		Utilities: make(map[core.NodeID]int64, len(res.Utilities)),
+		Completed: res.Completed,
+	}
+	for id, u := range res.Utilities {
+		out.Utilities[core.NodeID(id)] = u
+	}
+	for _, det := range res.Detections {
+		if det.Principal >= 0 {
+			out.Detected = append(out.Detected, core.NodeID(det.Principal))
+		}
+	}
+	for _, f := range res.PaymentFindings {
+		out.Detected = append(out.Detected, core.NodeID(f.Node))
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package sim
+
+import "testing"
+
+// chainNode forwards a token down a line of nodes.
+type chainNode struct {
+	next Addr
+	last bool
+}
+
+func (c *chainNode) Init(ctx Context) {
+	if ctx.Self() == 0 {
+		ctx.Send(c.next, "token")
+	}
+}
+
+func (c *chainNode) Recv(ctx Context, m Message) {
+	if !c.last {
+		ctx.Send(c.next, m.Payload)
+	}
+}
+
+func BenchmarkTokenChain64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := NewNetwork()
+		const size = 64
+		for j := 0; j < size; j++ {
+			_ = n.Attach(Addr(j), &chainNode{next: Addr(j + 1), last: j == size-1})
+		}
+		if _, err := n.Run(1 << 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type broadcaster struct {
+	peers int
+}
+
+func (br *broadcaster) Init(ctx Context) {
+	for j := 0; j < br.peers; j++ {
+		if Addr(j) != ctx.Self() {
+			ctx.Send(Addr(j), int(ctx.Self()))
+		}
+	}
+}
+
+func (br *broadcaster) Recv(Context, Message) {}
+
+func BenchmarkAllToAllBroadcast32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := NewNetwork()
+		const size = 32
+		for j := 0; j < size; j++ {
+			_ = n.Attach(Addr(j), &broadcaster{peers: size})
+		}
+		if _, err := n.Run(1 << 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package sim is a deterministic discrete-event network simulator.
+//
+// The paper's model (following FPSS and Griffin–Wilfong) is a static,
+// reliable network of nodes that exchange messages asynchronously and
+// eventually reach quiescence; the bank's checkpoints fire "at a
+// network quiescence point" (§4.3 [BANK1]). The simulator reproduces
+// exactly that: messages are delivered in deterministic order (by
+// delivery time, then send sequence), a run proceeds until no messages
+// remain in flight, and counters expose the message/step complexity
+// that experiments E4/E5/E9 report.
+//
+// Deviating (rational) behavior lives in the node handlers, not in the
+// network: the network itself is obedient, as assumed by the paper.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Addr identifies an endpoint in the simulated network.
+type Addr int
+
+// Message is a payload in flight between two endpoints.
+type Message struct {
+	From    Addr
+	To      Addr
+	Payload any
+}
+
+// Context is the API a handler uses during Init/Recv. It is an
+// interface so the same handlers run unchanged on the deterministic
+// event simulator and on the goroutine-based livenet runtime.
+type Context interface {
+	// Self returns the handler's own address.
+	Self() Addr
+	// Now returns the current (runtime-specific) logical time.
+	Now() int64
+	// Send enqueues a message to the given address.
+	Send(to Addr, payload any)
+}
+
+// Handler is a simulated endpoint. Implementations must be
+// deterministic: same inputs in the same order, same outputs.
+type Handler interface {
+	// Init runs once before delivery starts; the handler may send its
+	// initial messages through ctx.
+	Init(ctx Context)
+	// Recv handles one delivered message; the handler may send
+	// follow-up messages through ctx.
+	Recv(ctx Context, msg Message)
+}
+
+// Sizer optionally reports a payload's abstract size (bytes) for
+// traffic accounting. Payloads that do not implement Sizer count as 1.
+type Sizer interface{ Size() int }
+
+// Counters aggregates traffic statistics for a run.
+type Counters struct {
+	Sent       int64 // messages submitted via Send
+	Delivered  int64 // messages handed to Recv
+	Dropped    int64 // messages dropped by a Tamper hook
+	Bytes      int64 // total abstract payload size sent
+	Steps      int64 // delivery steps executed
+	PerNodeIn  map[Addr]int64
+	PerNodeOut map[Addr]int64
+}
+
+// Network is a deterministic event-driven message network.
+type Network struct {
+	handlers map[Addr]Handler
+	queue    eventHeap
+	seq      int64
+	now      int64
+	delay    func(from, to Addr) int64
+	tamper   func(m Message) (Message, bool)
+	counters Counters
+	running  bool
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithDelay sets a deterministic per-link delay function (default: 1).
+func WithDelay(d func(from, to Addr) int64) Option {
+	return func(n *Network) { n.delay = d }
+}
+
+// WithTamper installs a message hook used by fault-injection tests;
+// returning ok=false drops the message. Rational deviations should be
+// modeled in handlers instead — the paper's network is obedient.
+func WithTamper(t func(m Message) (Message, bool)) Option {
+	return func(n *Network) { n.tamper = t }
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork(opts ...Option) *Network {
+	n := &Network{
+		handlers: make(map[Addr]Handler),
+		delay:    func(_, _ Addr) int64 { return 1 },
+	}
+	n.counters.PerNodeIn = make(map[Addr]int64)
+	n.counters.PerNodeOut = make(map[Addr]int64)
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// ErrDuplicateAddr is returned when an address is attached twice.
+var ErrDuplicateAddr = errors.New("sim: duplicate address")
+
+// Attach registers a handler at addr.
+func (n *Network) Attach(addr Addr, h Handler) error {
+	if _, ok := n.handlers[addr]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateAddr, addr)
+	}
+	n.handlers[addr] = h
+	return nil
+}
+
+// netContext is the event-simulator Context. Sends to unknown
+// addresses are counted but silently discarded at delivery, matching a
+// static network with a fixed membership.
+type netContext struct {
+	net  *Network
+	self Addr
+}
+
+var _ Context = (*netContext)(nil)
+
+func (c *netContext) Self() Addr { return c.self }
+func (c *netContext) Now() int64 { return c.net.now }
+func (c *netContext) Send(to Addr, payload any) {
+	c.net.send(c.self, to, payload)
+}
+
+func (n *Network) send(from, to Addr, payload any) {
+	m := Message{From: from, To: to, Payload: payload}
+	if n.tamper != nil {
+		var ok bool
+		if m, ok = n.tamper(m); !ok {
+			n.counters.Dropped++
+			return
+		}
+	}
+	n.counters.Sent++
+	n.counters.PerNodeOut[from]++
+	size := int64(1)
+	if s, ok := m.Payload.(Sizer); ok {
+		size = int64(s.Size())
+	}
+	n.counters.Bytes += size
+	n.seq++
+	heap.Push(&n.queue, event{at: n.now + n.delay(from, to), seq: n.seq, msg: m})
+}
+
+// ErrBudgetExhausted is returned by Run when maxSteps deliveries
+// happen without reaching quiescence (a non-terminating protocol).
+var ErrBudgetExhausted = errors.New("sim: step budget exhausted before quiescence")
+
+// Run initializes every handler (in address order) and delivers
+// messages until quiescence or until maxSteps deliveries have
+// occurred. It returns the counters for the run.
+func (n *Network) Run(maxSteps int64) (Counters, error) {
+	if n.running {
+		return n.counters, errors.New("sim: Run re-entered")
+	}
+	n.running = true
+	defer func() { n.running = false }()
+
+	for _, addr := range n.addrs() {
+		h := n.handlers[addr]
+		h.Init(&netContext{net: n, self: addr})
+	}
+	return n.drain(maxSteps)
+}
+
+// Resume continues delivering after external injection (see Inject)
+// without re-running Init. It shares the step budget semantics of Run.
+func (n *Network) Resume(maxSteps int64) (Counters, error) {
+	return n.drain(maxSteps)
+}
+
+func (n *Network) drain(maxSteps int64) (Counters, error) {
+	var steps int64
+	for n.queue.Len() > 0 {
+		if steps >= maxSteps {
+			return n.snapshot(), fmt.Errorf("%w (%d steps)", ErrBudgetExhausted, steps)
+		}
+		ev := heap.Pop(&n.queue).(event)
+		n.now = ev.at
+		steps++
+		n.counters.Steps++
+		h, ok := n.handlers[ev.msg.To]
+		if !ok {
+			continue // discarded: unknown destination
+		}
+		n.counters.Delivered++
+		n.counters.PerNodeIn[ev.msg.To]++
+		h.Recv(&netContext{net: n, self: ev.msg.To}, ev.msg)
+	}
+	return n.snapshot(), nil
+}
+
+// Inject enqueues an external message (e.g. a bank request) from a
+// synthetic source. Use Resume afterwards.
+func (n *Network) Inject(from, to Addr, payload any) {
+	n.send(from, to, payload)
+}
+
+// Quiescent reports whether no messages are in flight.
+func (n *Network) Quiescent() bool { return n.queue.Len() == 0 }
+
+// Counters returns a copy of the current counters.
+func (n *Network) Counters() Counters { return n.snapshot() }
+
+// Handler returns the handler attached at addr, if any.
+func (n *Network) Handler(addr Addr) (Handler, bool) {
+	h, ok := n.handlers[addr]
+	return h, ok
+}
+
+// Now returns the current simulated time.
+func (n *Network) Now() int64 { return n.now }
+
+func (n *Network) snapshot() Counters {
+	out := n.counters
+	out.PerNodeIn = make(map[Addr]int64, len(n.counters.PerNodeIn))
+	out.PerNodeOut = make(map[Addr]int64, len(n.counters.PerNodeOut))
+	for k, v := range n.counters.PerNodeIn {
+		out.PerNodeIn[k] = v
+	}
+	for k, v := range n.counters.PerNodeOut {
+		out.PerNodeOut[k] = v
+	}
+	return out
+}
+
+func (n *Network) addrs() []Addr {
+	out := make([]Addr, 0, len(n.handlers))
+	for a := range n.handlers {
+		out = append(out, a)
+	}
+	// Insertion sort keeps determinism without importing sort for a
+	// tiny, hot-free path.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+type event struct {
+	at  int64
+	seq int64
+	msg Message
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

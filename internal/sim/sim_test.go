@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// echo replies to every ping with a pong until a hop budget runs out.
+type pingMsg struct {
+	hops int
+}
+
+type echoNode struct {
+	peer    Addr
+	starter bool
+	got     []int
+}
+
+func (e *echoNode) Init(ctx Context) {
+	if e.starter {
+		ctx.Send(e.peer, pingMsg{hops: 4})
+	}
+}
+
+func (e *echoNode) Recv(ctx Context, m Message) {
+	p, ok := m.Payload.(pingMsg)
+	if !ok {
+		return
+	}
+	e.got = append(e.got, p.hops)
+	if p.hops > 0 {
+		ctx.Send(m.From, pingMsg{hops: p.hops - 1})
+	}
+}
+
+func TestPingPongRunsToQuiescence(t *testing.T) {
+	n := NewNetwork()
+	a := &echoNode{peer: 1, starter: true}
+	b := &echoNode{peer: 0}
+	if err := n.Attach(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Attach(1, b); err != nil {
+		t.Fatal(err)
+	}
+	c, err := n.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Quiescent() {
+		t.Error("network should be quiescent")
+	}
+	if c.Sent != 5 || c.Delivered != 5 {
+		t.Errorf("sent/delivered = %d/%d, want 5/5", c.Sent, c.Delivered)
+	}
+	// b sees hops 4,2,0; a sees 3,1.
+	if len(b.got) != 3 || b.got[0] != 4 || b.got[2] != 0 {
+		t.Errorf("b.got = %v", b.got)
+	}
+	if len(a.got) != 2 || a.got[0] != 3 {
+		t.Errorf("a.got = %v", a.got)
+	}
+}
+
+func TestDuplicateAttach(t *testing.T) {
+	n := NewNetwork()
+	if err := n.Attach(0, &echoNode{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Attach(0, &echoNode{}); !errors.Is(err, ErrDuplicateAddr) {
+		t.Errorf("duplicate attach = %v, want ErrDuplicateAddr", err)
+	}
+}
+
+type flooder struct{ peer Addr }
+
+func (f *flooder) Init(ctx Context) { ctx.Send(f.peer, pingMsg{}) }
+func (f *flooder) Recv(ctx Context, m Message) {
+	ctx.Send(m.From, pingMsg{}) // never terminates
+}
+
+func TestBudgetExhausted(t *testing.T) {
+	n := NewNetwork()
+	_ = n.Attach(0, &flooder{peer: 1})
+	_ = n.Attach(1, &flooder{peer: 0})
+	_, err := n.Run(10)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("Run = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestUnknownDestinationDiscarded(t *testing.T) {
+	n := NewNetwork()
+	_ = n.Attach(0, &echoNode{peer: 99, starter: true})
+	c, err := n.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sent != 1 || c.Delivered != 0 {
+		t.Errorf("sent/delivered = %d/%d, want 1/0", c.Sent, c.Delivered)
+	}
+}
+
+type sizedPayload struct{ n int }
+
+func (s sizedPayload) Size() int { return s.n }
+
+type oneShot struct {
+	to      Addr
+	payload any
+}
+
+func (o *oneShot) Init(ctx Context)      { ctx.Send(o.to, o.payload) }
+func (o *oneShot) Recv(Context, Message) {}
+
+func TestByteAccounting(t *testing.T) {
+	n := NewNetwork()
+	_ = n.Attach(0, &oneShot{to: 1, payload: sizedPayload{n: 37}})
+	_ = n.Attach(1, &oneShot{to: 0, payload: "unsized"})
+	c, err := n.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Bytes != 38 { // 37 + default 1
+		t.Errorf("bytes = %d, want 38", c.Bytes)
+	}
+}
+
+func TestDeterministicDeliveryOrder(t *testing.T) {
+	run := func() []int {
+		n := NewNetwork()
+		rec := &recorder{}
+		_ = n.Attach(9, rec)
+		_ = n.Attach(0, &burst{to: 9, count: 5, base: 0})
+		_ = n.Attach(1, &burst{to: 9, count: 5, base: 100})
+		if _, err := n.Run(100); err != nil {
+			t.Fatal(err)
+		}
+		return rec.seen
+	}
+	first := run()
+	for trial := 0; trial < 5; trial++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatal("nondeterministic count")
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("delivery order differs at %d: %v vs %v", i, first, again)
+			}
+		}
+	}
+}
+
+type burst struct {
+	to    Addr
+	count int
+	base  int
+}
+
+func (b *burst) Init(ctx Context) {
+	for i := 0; i < b.count; i++ {
+		ctx.Send(b.to, b.base+i)
+	}
+}
+func (b *burst) Recv(Context, Message) {}
+
+type recorder struct{ seen []int }
+
+func (r *recorder) Init(Context) {}
+func (r *recorder) Recv(_ Context, m Message) {
+	if v, ok := m.Payload.(int); ok {
+		r.seen = append(r.seen, v)
+	}
+}
+
+func TestTamperDrop(t *testing.T) {
+	n := NewNetwork(WithTamper(func(m Message) (Message, bool) {
+		if v, ok := m.Payload.(int); ok && v%2 == 0 {
+			return m, false
+		}
+		return m, true
+	}))
+	rec := &recorder{}
+	_ = n.Attach(9, rec)
+	_ = n.Attach(0, &burst{to: 9, count: 6})
+	c, err := n.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dropped != 3 {
+		t.Errorf("dropped = %d, want 3", c.Dropped)
+	}
+	if len(rec.seen) != 3 {
+		t.Errorf("delivered = %v, want odd values only", rec.seen)
+	}
+}
+
+func TestInjectAndResume(t *testing.T) {
+	n := NewNetwork()
+	rec := &recorder{}
+	_ = n.Attach(5, rec)
+	if _, err := n.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	n.Inject(100, 5, 42)
+	c, err := n.Resume(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.seen) != 1 || rec.seen[0] != 42 {
+		t.Errorf("seen = %v, want [42]", rec.seen)
+	}
+	if c.Delivered != 1 {
+		t.Errorf("delivered = %d, want 1", c.Delivered)
+	}
+}
+
+func TestWithDelayOrdersAcrossLinks(t *testing.T) {
+	n := NewNetwork(WithDelay(func(from, _ Addr) int64 {
+		if from == 0 {
+			return 10 // slow link
+		}
+		return 1
+	}))
+	rec := &recorder{}
+	_ = n.Attach(9, rec)
+	_ = n.Attach(0, &oneShot{to: 9, payload: 111})
+	_ = n.Attach(1, &oneShot{to: 9, payload: 222})
+	if _, err := n.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.seen) != 2 || rec.seen[0] != 222 || rec.seen[1] != 111 {
+		t.Errorf("seen = %v, want [222 111] (fast link first)", rec.seen)
+	}
+}
+
+func TestPerNodeCounters(t *testing.T) {
+	n := NewNetwork()
+	_ = n.Attach(0, &burst{to: 1, count: 3})
+	_ = n.Attach(1, &recorder{})
+	c, err := n.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PerNodeOut[0] != 3 || c.PerNodeIn[1] != 3 {
+		t.Errorf("per-node counters = out %v in %v", c.PerNodeOut, c.PerNodeIn)
+	}
+}
+
+func TestCountersSnapshotIsolated(t *testing.T) {
+	n := NewNetwork()
+	_ = n.Attach(0, &burst{to: 1, count: 1})
+	_ = n.Attach(1, &recorder{})
+	if _, err := n.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	c := n.Counters()
+	c.PerNodeOut[0] = 999
+	if n.Counters().PerNodeOut[0] == 999 {
+		t.Error("Counters() returned aliased maps")
+	}
+}
+
+func TestRunReentryRejected(t *testing.T) {
+	n := NewNetwork()
+	r := &reentrant{net: n}
+	_ = n.Attach(0, r)
+	if _, err := n.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !r.sawErr {
+		t.Error("nested Run should have errored")
+	}
+}
+
+type reentrant struct {
+	net    *Network
+	sawErr bool
+}
+
+func (r *reentrant) Init(ctx Context) {
+	if _, err := r.net.Run(1); err != nil {
+		r.sawErr = true
+	}
+}
+func (r *reentrant) Recv(Context, Message) {}

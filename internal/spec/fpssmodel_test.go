@@ -1,0 +1,80 @@
+package spec
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestBuildExtendedFPSSValid(t *testing.T) {
+	m, sp, err := BuildExtendedFPSS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("machine invalid: %v", err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Errorf("spec invalid: %v", err)
+	}
+}
+
+func TestExtendedFPSSTraceCoversAllClasses(t *testing.T) {
+	_, sp, err := BuildExtendedFPSS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := sp.Trace("idle", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 10 {
+		t.Fatalf("trace length = %d, want 10", len(trace))
+	}
+	seen := map[ActionKind]bool{}
+	for _, a := range trace {
+		seen[a.Kind] = true
+	}
+	for _, k := range []ActionKind{InfoRevelation, MessagePassing, Computation, Internal} {
+		if !seen[k] {
+			t.Errorf("trace misses action kind %v", k)
+		}
+	}
+}
+
+func TestExtendedFPSSSubStrategies(t *testing.T) {
+	_, sp, err := BuildExtendedFPSS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, p, c := sp.SubStrategies()
+	if len(r) != 1 {
+		t.Errorf("revelation states = %v, want exactly the cost declaration", r)
+	}
+	if len(p) != 2 {
+		t.Errorf("passing states = %v, want relay + forward", p)
+	}
+	if len(c) != 4 {
+		t.Errorf("computation states = %v, want recompute/mirror/report/payments", c)
+	}
+}
+
+func TestExtendedFPSSPhases(t *testing.T) {
+	phases := ExtendedFPSSPhases(6)
+	if len(phases) != 3 {
+		t.Fatalf("phases = %d", len(phases))
+	}
+	mono, phased := DecompositionSavings(phases)
+	if mono.Cmp(phased) <= 0 {
+		t.Error("decomposition should strictly reduce the space")
+	}
+	// The reduction is astronomically large even at n=6: the
+	// monolithic space exceeds 4^36.
+	wantFloor := new(big.Int).Exp(big.NewInt(4), big.NewInt(30), nil)
+	if mono.Cmp(wantFloor) < 0 {
+		t.Errorf("monolithic space %v unexpectedly small", mono)
+	}
+	// Degenerate input is clamped.
+	if got := ExtendedFPSSPhases(0); got[0].DeviationPoints != 1 {
+		t.Errorf("clamping failed: %+v", got[0])
+	}
+}
