@@ -1,8 +1,10 @@
 // Package repro's root benchmarks regenerate every experiment table
-// (E1–E10, see DESIGN.md §4 and EXPERIMENTS.md). Each benchmark both
+// (E1–E13, see DESIGN.md §4 and EXPERIMENTS.md). Each benchmark both
 // times the experiment and reports its headline quantity as a custom
 // metric, so `go test -bench=.` reproduces the paper's qualitative
-// claims in one run.
+// claims in one run. Experiments are fetched from the registry — a
+// newly registered experiment is picked up by BenchmarkAll without
+// touching this file.
 package repro_test
 
 import (
@@ -12,9 +14,22 @@ import (
 	"repro/internal/experiments"
 )
 
-func mustTable(b *testing.B, gen func() (*experiments.Table, error)) *experiments.Table {
+// mustTable fetches an experiment from the registry and generates its
+// table, optionally mutating the registered default Params.
+func mustTable(b *testing.B, id string, mutate func(*experiments.Params)) *experiments.Table {
 	b.Helper()
-	t, err := gen()
+	exp, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	if exp.Slow && testing.Short() {
+		b.Skipf("%s is a deviation search; skipped under -short", id)
+	}
+	p := exp.Params
+	if mutate != nil {
+		mutate(&p)
+	}
+	t, err := exp.Generate(p)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -39,11 +54,29 @@ func cellFloat(b *testing.B, t *experiments.Table, row, col int) float64 {
 	return v
 }
 
+// BenchmarkAll regenerates every registered experiment through the
+// parallel runner — the wall-clock of a full table refresh, the
+// headline quantity the runner subsystem exists to shrink.
+func BenchmarkAll(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full registry run is the slow lane")
+	}
+	tables := 0
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.All()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tables = len(out)
+	}
+	b.ReportMetric(float64(tables), "tables")
+}
+
 // BenchmarkE1Figure1 regenerates Figure 1's lowest-cost paths.
 func BenchmarkE1Figure1(b *testing.B) {
 	var xzCost int64
 	for i := 0; i < b.N; i++ {
-		t := mustTable(b, experiments.E1Figure1)
+		t := mustTable(b, "E1", nil)
 		xzCost = cellInt(b, t, 0, 1)
 	}
 	b.ReportMetric(float64(xzCost), "cost(X→Z)")
@@ -53,7 +86,7 @@ func BenchmarkE1Figure1(b *testing.B) {
 func BenchmarkE2Example1(b *testing.B) {
 	var naiveGain, vcgGain int64
 	for i := 0; i < b.N; i++ {
-		t := mustTable(b, experiments.E2Example1)
+		t := mustTable(b, "E2", nil)
 		truthNaive, truthVCG := cellInt(b, t, 0, 1), cellInt(b, t, 0, 2)
 		bestNaive, bestVCG := truthNaive, truthVCG
 		for r := range t.Rows {
@@ -74,7 +107,7 @@ func BenchmarkE2Example1(b *testing.B) {
 func BenchmarkE3Detection(b *testing.B) {
 	caught := 0.0
 	for i := 0; i < b.N; i++ {
-		t := mustTable(b, experiments.E3Detection)
+		t := mustTable(b, "E3", nil)
 		caught = float64(len(t.Rows))
 	}
 	b.ReportMetric(caught, "deviations-all-caught")
@@ -84,7 +117,7 @@ func BenchmarkE3Detection(b *testing.B) {
 func BenchmarkE4Overhead(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		t := mustTable(b, func() (*experiments.Table, error) { return experiments.E4Overhead([]int{6, 12, 18, 24}, 11) })
+		t := mustTable(b, "E4", nil)
 		ratio = cellFloat(b, t, len(t.Rows)-1, 4)
 	}
 	b.ReportMetric(ratio, "msg-overhead@n24")
@@ -94,7 +127,7 @@ func BenchmarkE4Overhead(b *testing.B) {
 func BenchmarkE5BFTBaseline(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		t := mustTable(b, func() (*experiments.Table, error) { return experiments.E5BFTBaseline(12) })
+		t := mustTable(b, "E5", nil)
 		ratio = cellFloat(b, t, len(t.Rows)-1, 6)
 	}
 	b.ReportMetric(ratio, "bft/faithful-msgs")
@@ -104,7 +137,7 @@ func BenchmarkE5BFTBaseline(b *testing.B) {
 func BenchmarkE6Faithfulness(b *testing.B) {
 	var plainViolations, faithfulViolations int64
 	for i := 0; i < b.N; i++ {
-		t := mustTable(b, func() (*experiments.Table, error) { return experiments.E6Faithfulness(1, 13) })
+		t := mustTable(b, "E6", func(p *experiments.Params) { p.Trials = 1 })
 		plainViolations = cellInt(b, t, 0, 3)
 		faithfulViolations = cellInt(b, t, 0, 5)
 	}
@@ -116,7 +149,7 @@ func BenchmarkE6Faithfulness(b *testing.B) {
 func BenchmarkE7PhaseDecomposition(b *testing.B) {
 	var reduction int64
 	for i := 0; i < b.N; i++ {
-		t := mustTable(b, experiments.E7PhaseDecomposition)
+		t := mustTable(b, "E7", nil)
 		reduction = cellInt(b, t, len(t.Rows)-1, 4)
 	}
 	b.ReportMetric(float64(reduction), "reduction@8pts")
@@ -126,7 +159,7 @@ func BenchmarkE7PhaseDecomposition(b *testing.B) {
 func BenchmarkE8Election(b *testing.B) {
 	var naive, faithful float64
 	for i := 0; i < b.N; i++ {
-		t := mustTable(b, func() (*experiments.Table, error) { return experiments.E8Election(40, 14) })
+		t := mustTable(b, "E8", nil)
 		naive = cellFloat(b, t, 0, 3)
 		faithful = cellFloat(b, t, 1, 3)
 	}
@@ -138,7 +171,7 @@ func BenchmarkE8Election(b *testing.B) {
 func BenchmarkE9Convergence(b *testing.B) {
 	var perNode float64
 	for i := 0; i < b.N; i++ {
-		t := mustTable(b, func() (*experiments.Table, error) { return experiments.E9Convergence([]int{6, 12, 18, 24, 30}, 15) })
+		t := mustTable(b, "E9", nil)
 		perNode = cellFloat(b, t, len(t.Rows)-1, 5)
 	}
 	b.ReportMetric(perNode, "msgs-per-node@n30")
@@ -148,7 +181,7 @@ func BenchmarkE9Convergence(b *testing.B) {
 func BenchmarkE10Execution(b *testing.B) {
 	var worstNet int64
 	for i := 0; i < b.N; i++ {
-		t := mustTable(b, experiments.E10Execution)
+		t := mustTable(b, "E10", nil)
 		worstNet = 0
 		for r := 1; r < len(t.Rows); r++ {
 			if v := cellInt(b, t, r, 3); v < worstNet {
@@ -164,7 +197,7 @@ func BenchmarkE10Execution(b *testing.B) {
 func BenchmarkE11CheckerAblation(b *testing.B) {
 	rows := 0.0
 	for i := 0; i < b.N; i++ {
-		t := mustTable(b, experiments.E11CheckerAblation)
+		t := mustTable(b, "E11", nil)
 		rows = float64(len(t.Rows))
 	}
 	b.ReportMetric(rows, "assignments")
@@ -174,7 +207,7 @@ func BenchmarkE11CheckerAblation(b *testing.B) {
 func BenchmarkE12Failstop(b *testing.B) {
 	blocked := 0.0
 	for i := 0; i < b.N; i++ {
-		t := mustTable(b, experiments.E12Failstop)
+		t := mustTable(b, "E12", nil)
 		blocked = 0
 		for _, row := range t.Rows {
 			if row[1] == "false" {
@@ -189,7 +222,7 @@ func BenchmarkE12Failstop(b *testing.B) {
 func BenchmarkE13DamageContainment(b *testing.B) {
 	var worstPlain int64
 	for i := 0; i < b.N; i++ {
-		t := mustTable(b, experiments.E13DamageContainment)
+		t := mustTable(b, "E13", nil)
 		worstPlain = 0
 		for r := range t.Rows {
 			if v := cellInt(b, t, r, 1); v > worstPlain {

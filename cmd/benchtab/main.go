@@ -1,14 +1,23 @@
-// Command benchtab prints the regenerated experiment tables (E1–E10).
+// Command benchtab prints the regenerated experiment tables (E1–E13)
+// from the experiments registry.
 //
 // Usage:
 //
-//	benchtab            # all experiments
-//	benchtab -e e2,e6   # a subset
+//	benchtab                 # all experiments, one worker per CPU
+//	benchtab -e e2,e6        # a subset by ID
+//	benchtab -run 'E1[0-3]'  # a subset by regexp over IDs
+//	benchtab -parallel 4     # cap the worker pool
+//	benchtab -json           # machine-readable tables (BENCH artifacts)
+//
+// Output is deterministic: tables appear in canonical experiment order
+// and are byte-identical for any -parallel value.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -16,38 +25,68 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
 	only := fs.String("e", "", "comma-separated experiment IDs (e.g. e1,e6); empty = all")
+	pattern := fs.String("run", "", "regexp over experiment IDs (case-insensitive, whole-ID); empty = all")
+	parallel := fs.Int("parallel", 0, "worker-pool size; 0 = one per CPU")
+	asJSON := fs.Bool("json", false, "emit tables as JSON instead of aligned text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	want := map[string]bool{}
-	for _, id := range strings.Split(strings.ToLower(*only), ",") {
-		if id = strings.TrimSpace(id); id != "" {
-			want[id] = true
-		}
-	}
-	tables, err := experiments.All()
+	exps, err := selectExperiments(*only, *pattern)
 	if err != nil {
 		return err
 	}
-	printed := 0
-	for _, t := range tables {
-		if len(want) > 0 && !want[strings.ToLower(t.ID)] {
-			continue
-		}
-		fmt.Println(experiments.Render(t))
-		printed++
+	tables, err := experiments.Runner{Workers: *parallel}.Run(exps)
+	if err != nil {
+		return err
 	}
-	if printed == 0 {
-		return fmt.Errorf("no experiment matched %q", *only)
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tables)
+	}
+	for _, t := range tables {
+		fmt.Fprintln(w, experiments.Render(t))
 	}
 	return nil
+}
+
+// selectExperiments resolves the -e ID list and the -run regexp
+// against the registry, erroring on IDs or patterns that match
+// nothing — before any experiment has spent cycles.
+func selectExperiments(only, pattern string) ([]experiments.Experiment, error) {
+	exps, err := experiments.Match(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if only != "" {
+		want := map[string]bool{}
+		for _, id := range strings.Split(strings.ToLower(only), ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				if _, ok := experiments.Lookup(id); !ok {
+					return nil, fmt.Errorf("unknown experiment %q", id)
+				}
+				want[id] = true
+			}
+		}
+		filtered := exps[:0]
+		for _, e := range exps {
+			if want[strings.ToLower(e.ID)] {
+				filtered = append(filtered, e)
+			}
+		}
+		exps = filtered
+	}
+	if len(exps) == 0 {
+		return nil, fmt.Errorf("no experiment matched -e %q -run %q", only, pattern)
+	}
+	return exps, nil
 }

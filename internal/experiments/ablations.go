@@ -9,11 +9,17 @@ import (
 	"repro/internal/rational"
 )
 
+func init() {
+	Register(Experiment{ID: "E11", Title: "Checker-assignment ablation", Slow: true, Gen: E11CheckerAblation})
+	Register(Experiment{ID: "E12", Title: "Failstop interplay (§5)", Gen: E12Failstop})
+	Register(Experiment{ID: "E13", Title: "Victim damage containment", Slow: true, Gen: E13DamageContainment})
+}
+
 // E11CheckerAblation ablates the checker assignment: §4.2 insists
 // "every neighbor of a node is assigned as a checker for that node."
 // Restricting the assignment to k < degree neighbors opens escapes —
 // a principal can cheat toward the unchecked side.
-func E11CheckerAblation() (*Table, error) {
+func E11CheckerAblation(p Params) (*Table, error) {
 	g := graph.Figure1()
 	t := &Table{
 		ID:         "E11",
@@ -22,7 +28,7 @@ func E11CheckerAblation() (*Table, error) {
 		Headers:    []string{"checkers per principal", "plays", "caught or neutralized", "profitable"},
 	}
 	for _, limit := range []int{0, 2, 1} {
-		params := rational.DefaultParams(g)
+		params := rationalParams(g, p)
 		params.CheckerLimit = limit
 		sys := &rational.FaithfulSystem{Graph: g, Params: params}
 		base, err := sys.Run(-1, nil)
@@ -63,7 +69,7 @@ func E11CheckerAblation() (*Table, error) {
 // deviator, the bank withholds the green light, and everyone (not just
 // the crashed node) pays the non-progress penalty. Handling mixed
 // failure models is the paper's stated open problem.
-func E12Failstop() (*Table, error) {
+func E12Failstop(Params) (*Table, error) {
 	g := graph.Figure1()
 	t := &Table{
 		ID:         "E12",
@@ -103,9 +109,9 @@ func E12Failstop() (*Table, error) {
 // the faithful protocol self-interested deviations are contained, but
 // a node willing to eat the non-progress penalty can grief everyone —
 // faithfulness targets rational nodes, not malicious ones.
-func E13DamageContainment() (*Table, error) {
+func E13DamageContainment(p Params) (*Table, error) {
 	g := graph.Figure1()
-	params := rational.DefaultParams(g)
+	params := rationalParams(g, p)
 	plainSys := &rational.PlainSystem{Graph: g, Params: params}
 	faithSys := &rational.FaithfulSystem{Graph: g, Params: params}
 	plainBase, err := plainSys.Run(-1, nil)

@@ -6,10 +6,10 @@ import (
 )
 
 func TestE11FullAssignmentContainsEverything(t *testing.T) {
-	tbl, err := E11CheckerAblation()
-	if err != nil {
-		t.Fatal(err)
+	if testing.Short() {
+		t.Skip("three full deviation sweeps are the slow lane")
 	}
+	tbl := genTable(t, "E11", nil)
 	if len(tbl.Rows) != 3 {
 		t.Fatalf("rows = %v", tbl.Rows)
 	}
@@ -34,10 +34,7 @@ func TestE11FullAssignmentContainsEverything(t *testing.T) {
 }
 
 func TestE12CrashBlocksProgressEverywhere(t *testing.T) {
-	tbl, err := E12Failstop()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := genTable(t, "E12", nil)
 	for _, row := range tbl.Rows {
 		if row[1] != "false" {
 			t.Errorf("crashed node %s: run green-lit despite failstop", row[0])
@@ -50,10 +47,10 @@ func TestE12CrashBlocksProgressEverywhere(t *testing.T) {
 }
 
 func TestE13PlainAdmitsVictimDamage(t *testing.T) {
-	tbl, err := E13DamageContainment()
-	if err != nil {
-		t.Fatal(err)
+	if testing.Short() {
+		t.Skip("plain+faithful deviation sweeps are the slow lane")
 	}
+	tbl := genTable(t, "E13", nil)
 	anyPlainDamage := false
 	for _, row := range tbl.Rows {
 		if row[1] != "0" {

@@ -2,8 +2,15 @@
 // paper. Shneidman & Parkes (PODC 2004) is a theory paper — its two
 // figures are a worked example network (Figure 1) and a checker
 // diagram (Figure 2) — so the experiment set reproduces the paper's
-// worked examples and quantified claims. Each function returns a
+// worked examples and quantified claims. Each generator returns a
 // Table consumed by bench_test.go, cmd/benchtab and EXPERIMENTS.md.
+//
+// Generators live in a registry rather than a hardcoded dispatch: a
+// new experiment calls Register (usually from an init function) with
+// an ID, default Params and a Gen func, and every consumer — the
+// parallel Runner, cmd/benchtab's -run/-e filters, the root
+// benchmarks — picks it up from there. Do not extend All(); it simply
+// runs whatever is registered.
 package experiments
 
 import (
@@ -33,8 +40,26 @@ type Table struct {
 
 func itoa(v int64) string { return strconv.FormatInt(v, 10) }
 
+func init() {
+	Register(Experiment{ID: "E1", Title: "Figure 1 LCPs and quoted costs", Gen: E1Figure1})
+	Register(Experiment{ID: "E2", Title: "Example 1 manipulation sweep", Gen: E2Example1})
+	Register(Experiment{ID: "E3", Title: "Manipulation detection matrix", Slow: true, Gen: E3Detection})
+	Register(Experiment{ID: "E4", Title: "Checker-scheme overhead sweep",
+		Params: Params{Sizes: []int{6, 12, 18, 24}, Seed: 11}, Gen: E4Overhead})
+	Register(Experiment{ID: "E5", Title: "BFT replication baseline",
+		Params: Params{Sizes: []int{4, 7, 10, 13}, Seed: 12}, Gen: E5BFTBaseline})
+	Register(Experiment{ID: "E6", Title: "Deviation search (Theorem 1)", Slow: true,
+		Params: Params{Trials: 3, Seed: 13}, Gen: E6Faithfulness})
+	Register(Experiment{ID: "E7", Title: "Phase decomposition savings", Gen: E7PhaseDecomposition})
+	Register(Experiment{ID: "E8", Title: "Leader election naive vs faithful",
+		Params: Params{Trials: 40, Seed: 14}, Gen: E8Election})
+	Register(Experiment{ID: "E9", Title: "Construction convergence sweep",
+		Params: Params{Sizes: []int{6, 12, 18, 24, 30}, Seed: 15}, Gen: E9Convergence})
+	Register(Experiment{ID: "E10", Title: "Execution-phase enforcement", Gen: E10Execution})
+}
+
 // E1Figure1 regenerates Figure 1 and the §4.1 quoted path costs.
-func E1Figure1() (*Table, error) {
+func E1Figure1(Params) (*Table, error) {
 	g := graph.Figure1()
 	sol, err := fpss.ComputeCentral(g)
 	if err != nil {
@@ -73,7 +98,7 @@ func E1Figure1() (*Table, error) {
 // E2Example1 regenerates Example 1: node C's declared cost swept over
 // 1..10, utility under naive declared-cost pricing (manipulable)
 // versus FPSS VCG pricing (strategyproof).
-func E2Example1() (*Table, error) {
+func E2Example1(Params) (*Table, error) {
 	g := graph.Figure1()
 	c, _ := g.ByName("C")
 	t := &Table{
@@ -129,9 +154,9 @@ func E2Example1() (*Table, error) {
 // E3Detection regenerates §4.3: every manipulation class injected at
 // every node; the extended specification must detect (or neutralize)
 // each one, with zero false positives on honest runs.
-func E3Detection() (*Table, error) {
+func E3Detection(p Params) (*Table, error) {
 	g := graph.Figure1()
-	params := rational.DefaultParams(g)
+	params := rationalParams(g, p)
 	sys := &rational.FaithfulSystem{Graph: g, Params: params}
 	base, err := sys.Run(-1, nil)
 	if err != nil {
@@ -173,15 +198,15 @@ func E3Detection() (*Table, error) {
 
 // E4Overhead measures the checker scheme's message and byte overhead
 // versus plain FPSS across network sizes.
-func E4Overhead(sizes []int, seed int64) (*Table, error) {
+func E4Overhead(p Params) (*Table, error) {
 	t := &Table{
 		ID:         "E4",
 		Title:      "Checker-scheme overhead vs plain FPSS (construction phases)",
 		PaperClaim: "overhead is a per-neighbor forwarding factor (≈ average degree), not replication of the whole system",
 		Headers:    []string{"n", "avg degree", "plain msgs", "faithful msgs", "msg ratio", "plain bytes", "faithful bytes", "byte ratio"},
 	}
-	rng := rand.New(rand.NewSource(seed))
-	for _, n := range sizes {
+	rng := rand.New(rand.NewSource(p.Seed))
+	for _, n := range p.Sizes {
 		g, err := graph.RingWithChords(n, n/2, 10, rng)
 		if err != nil {
 			return nil, err
@@ -216,15 +241,15 @@ func E4Overhead(sizes []int, seed int64) (*Table, error) {
 // E5BFTBaseline contrasts the faithful checker scheme against a
 // PBFT-style replicated computation carrying the same number of
 // state-update operations.
-func E5BFTBaseline(seed int64) (*Table, error) {
+func E5BFTBaseline(p Params) (*Table, error) {
 	t := &Table{
 		ID:         "E5",
 		Title:      "BFT replication baseline vs catch-and-punish (messages)",
 		PaperClaim: "BFT needs 3f+1 replicas and quadratic agreement traffic; catch-and-punish overhead stays a degree factor",
 		Headers:    []string{"network n", "faithful msgs", "updates R", "bft f", "bft replicas", "bft msgs", "bft/faithful"},
 	}
-	rng := rand.New(rand.NewSource(seed))
-	for _, n := range []int{4, 7, 10, 13} {
+	rng := rand.New(rand.NewSource(p.Seed))
+	for _, n := range p.Sizes {
 		g, err := graph.RingWithChords(n, n/3, 10, rng)
 		if err != nil {
 			return nil, err
@@ -268,15 +293,15 @@ func E5BFTBaseline(seed int64) (*Table, error) {
 // E6Faithfulness runs the ex post Nash deviation search (Theorem 1):
 // plain FPSS must admit profitable deviations, the extended
 // specification none, across sampled type profiles.
-func E6Faithfulness(trials int, seed int64) (*Table, error) {
+func E6Faithfulness(p Params) (*Table, error) {
 	t := &Table{
 		ID:         "E6",
 		Title:      "Deviation search: plain FPSS vs extended specification",
 		PaperClaim: "extended FPSS is a faithful implementation (Theorem 1); original FPSS is manipulable",
 		Headers:    []string{"trial", "n", "checked", "plain violations", "plain IC/CC/AC", "faithful violations", "faithful IC/CC/AC"},
 	}
-	rng := rand.New(rand.NewSource(seed))
-	for trial := 0; trial < trials; trial++ {
+	rng := rand.New(rand.NewSource(p.Seed))
+	for trial := 0; trial < p.Trials; trial++ {
 		var g *graph.Graph
 		var err error
 		if trial == 0 {
@@ -287,7 +312,7 @@ func E6Faithfulness(trials int, seed int64) (*Table, error) {
 				return nil, err
 			}
 		}
-		params := rational.DefaultParams(g)
+		params := rationalParams(g, p)
 		plainRep, err := core.CheckFaithfulness(&rational.PlainSystem{Graph: g, Params: params})
 		if err != nil {
 			return nil, err
@@ -305,6 +330,16 @@ func E6Faithfulness(trials int, seed int64) (*Table, error) {
 	return t, nil
 }
 
+// rationalParams builds deviation-search parameters for a graph,
+// honoring a Params-level pricing-scheme override.
+func rationalParams(g *graph.Graph, p Params) rational.Params {
+	params := rational.DefaultParams(g)
+	if p.Scheme != 0 {
+		params.Scheme = p.Scheme
+	}
+	return params
+}
+
 func flags(r core.Report) string {
 	b := func(v bool) string {
 		if v {
@@ -317,7 +352,7 @@ func flags(r core.Report) string {
 
 // E7PhaseDecomposition quantifies §3.9's "exponential reduction" in
 // joint manipulations to check.
-func E7PhaseDecomposition() (*Table, error) {
+func E7PhaseDecomposition(Params) (*Table, error) {
 	t := &Table{
 		ID:         "E7",
 		Title:      "Phase decomposition: joint deviation combinations to verify",
@@ -346,16 +381,16 @@ func E7PhaseDecomposition() (*Table, error) {
 // E8Election regenerates the §3 leader-election story: probability of
 // electing the most powerful node, naive (with rational dodgers) vs
 // faithful (Vickrey procurement).
-func E8Election(trials int, seed int64) (*Table, error) {
+func E8Election(p Params) (*Table, error) {
 	t := &Table{
 		ID:         "E8",
 		Title:      "Leader election: correct-leader rate, naive vs faithful",
 		PaperClaim: "the naive protocol fails to elect the most powerful node; the faithful variant always does",
 		Headers:    []string{"spec", "trials", "correct leader", "rate"},
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(p.Seed))
 	correctNaive, correctFaithful := 0, 0
-	for trial := 0; trial < trials; trial++ {
+	for trial := 0; trial < p.Trials; trial++ {
 		n := 4 + rng.Intn(4)
 		topoG, err := graph.RandomBiconnected(n, rng.Intn(n), 5, rng)
 		if err != nil {
@@ -406,24 +441,24 @@ func E8Election(trials int, seed int64) (*Table, error) {
 			correctFaithful++
 		}
 	}
-	t.Rows = append(t.Rows, []string{"naive + rational nodes", itoa(int64(trials)), itoa(int64(correctNaive)),
-		fmt.Sprintf("%.2f", float64(correctNaive)/float64(trials))})
-	t.Rows = append(t.Rows, []string{"faithful (Vickrey)", itoa(int64(trials)), itoa(int64(correctFaithful)),
-		fmt.Sprintf("%.2f", float64(correctFaithful)/float64(trials))})
+	t.Rows = append(t.Rows, []string{"naive + rational nodes", itoa(int64(p.Trials)), itoa(int64(correctNaive)),
+		fmt.Sprintf("%.2f", float64(correctNaive)/float64(p.Trials))})
+	t.Rows = append(t.Rows, []string{"faithful (Vickrey)", itoa(int64(p.Trials)), itoa(int64(correctFaithful)),
+		fmt.Sprintf("%.2f", float64(correctFaithful)/float64(p.Trials))})
 	return t, nil
 }
 
 // E9Convergence measures construction-phase convergence versus
 // network size, the Griffin–Wilfong-style iterative computation.
-func E9Convergence(sizes []int, seed int64) (*Table, error) {
+func E9Convergence(p Params) (*Table, error) {
 	t := &Table{
 		ID:         "E9",
 		Title:      "Distributed construction convergence vs network size",
 		PaperClaim: "the iterative computation converges on static networks; work scales with n·edges, latency with diameter",
 		Headers:    []string{"n", "edges", "diameter", "phase1 msgs", "phase2 msgs", "msgs per node", "steps"},
 	}
-	rng := rand.New(rand.NewSource(seed))
-	for _, n := range sizes {
+	rng := rand.New(rand.NewSource(p.Seed))
+	for _, n := range p.Sizes {
 		g, err := graph.RingWithChords(n, n/2, 10, rng)
 		if err != nil {
 			return nil, err
@@ -446,7 +481,7 @@ func E9Convergence(sizes []int, seed int64) (*Table, error) {
 // E10Execution regenerates the execution-phase enforcement result
 // (Remark 5): payment misreports are settled and penalized ε-above,
 // making fraud strictly unprofitable.
-func E10Execution() (*Table, error) {
+func E10Execution(Params) (*Table, error) {
 	g := graph.Figure1()
 	x, _ := g.ByName("X")
 	base := faithful.Config{
@@ -481,17 +516,13 @@ func E10Execution() (*Table, error) {
 		}},
 		{"skip one transit", func(p fpss.PaymentList) fpss.PaymentList {
 			out := p.Clone()
-			for k := range out {
-				delete(out, k)
-				break
-			}
+			delete(out, minPayee(out))
 			return out
 		}},
 		{"overpay by 10", func(p fpss.PaymentList) fpss.PaymentList {
 			out := p.Clone()
-			for k := range out {
-				out[k] += 10
-				break
+			if len(out) > 0 {
+				out[minPayee(out)] += 10
 			}
 			return out
 		}},
@@ -516,33 +547,18 @@ func E10Execution() (*Table, error) {
 	return t, nil
 }
 
-// All runs every experiment with default parameters.
-func All() ([]*Table, error) {
-	type gen func() (*Table, error)
-	gens := []gen{
-		E1Figure1,
-		E2Example1,
-		E3Detection,
-		func() (*Table, error) { return E4Overhead([]int{6, 12, 18, 24}, 11) },
-		func() (*Table, error) { return E5BFTBaseline(12) },
-		func() (*Table, error) { return E6Faithfulness(3, 13) },
-		E7PhaseDecomposition,
-		func() (*Table, error) { return E8Election(40, 14) },
-		func() (*Table, error) { return E9Convergence([]int{6, 12, 18, 24, 30}, 15) },
-		E10Execution,
-		E11CheckerAblation,
-		E12Failstop,
-		E13DamageContainment,
-	}
-	out := make([]*Table, 0, len(gens))
-	for _, g := range gens {
-		tbl, err := g()
-		if err != nil {
-			return nil, err
+// minPayee picks the lowest-ID payee — a deterministic stand-in for
+// "some transit node" so tables are byte-stable across runs (map
+// iteration order is not).
+func minPayee(p fpss.PaymentList) graph.NodeID {
+	first := true
+	var min graph.NodeID
+	for k := range p {
+		if first || k < min {
+			min, first = k, false
 		}
-		out = append(out, tbl)
 	}
-	return out, nil
+	return min
 }
 
 // Render prints a table as aligned text.

@@ -6,11 +6,28 @@ import (
 	"testing"
 )
 
-func TestE1MatchesPaperQuotes(t *testing.T) {
-	tbl, err := E1Figure1()
+// genTable fetches an experiment from the registry and generates its
+// table, optionally mutating the default Params first — tests never
+// call generator functions by name.
+func genTable(t *testing.T, id string, mutate func(*Params)) *Table {
+	t.Helper()
+	exp, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	p := exp.Params
+	if mutate != nil {
+		mutate(&p)
+	}
+	tbl, err := exp.Generate(p)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return tbl
+}
+
+func TestE1MatchesPaperQuotes(t *testing.T) {
+	tbl := genTable(t, "E1", nil)
 	want := map[string][2]string{
 		"X→Z": {"2", "X-D-C-Z"},
 		"Z→D": {"1", ""},
@@ -32,10 +49,7 @@ func TestE1MatchesPaperQuotes(t *testing.T) {
 }
 
 func TestE2NaiveManipulableVCGNot(t *testing.T) {
-	tbl, err := E2Example1()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := genTable(t, "E2", nil)
 	var naiveTruth, vcgTruth int64
 	var naiveBest, vcgBest int64
 	naiveBest, vcgBest = -1<<62, -1<<62
@@ -62,10 +76,10 @@ func TestE2NaiveManipulableVCGNot(t *testing.T) {
 }
 
 func TestE3AllCaughtNoneProfitable(t *testing.T) {
-	tbl, err := E3Detection()
-	if err != nil {
-		t.Fatal(err)
+	if testing.Short() {
+		t.Skip("deviation x node sweep is the slow lane")
 	}
+	tbl := genTable(t, "E3", nil)
 	if len(tbl.Rows) == 0 {
 		t.Fatal("no deviations tested")
 	}
@@ -82,10 +96,7 @@ func TestE3AllCaughtNoneProfitable(t *testing.T) {
 }
 
 func TestE4OverheadBounded(t *testing.T) {
-	tbl, err := E4Overhead([]int{6, 10}, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := genTable(t, "E4", func(p *Params) { p.Sizes = []int{6, 10}; p.Seed = 1 })
 	for _, row := range tbl.Rows {
 		ratio, _ := strconv.ParseFloat(row[4], 64)
 		if ratio < 1.0 {
@@ -99,10 +110,7 @@ func TestE4OverheadBounded(t *testing.T) {
 }
 
 func TestE5BFTCostlier(t *testing.T) {
-	tbl, err := E5BFTBaseline(2)
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := genTable(t, "E5", func(p *Params) { p.Seed = 2 })
 	for _, row := range tbl.Rows {
 		ratio, _ := strconv.ParseFloat(row[6], 64)
 		if ratio <= 1.0 {
@@ -112,10 +120,10 @@ func TestE5BFTCostlier(t *testing.T) {
 }
 
 func TestE6FaithfulCleanPlainDirty(t *testing.T) {
-	tbl, err := E6Faithfulness(2, 3)
-	if err != nil {
-		t.Fatal(err)
+	if testing.Short() {
+		t.Skip("full faithfulness search is the slow lane")
 	}
+	tbl := genTable(t, "E6", func(p *Params) { p.Trials = 2; p.Seed = 3 })
 	for _, row := range tbl.Rows {
 		if row[3] == "0" {
 			t.Errorf("trial %s: plain FPSS had no violations", row[0])
@@ -130,10 +138,7 @@ func TestE6FaithfulCleanPlainDirty(t *testing.T) {
 }
 
 func TestE7ReductionGrows(t *testing.T) {
-	tbl, err := E7PhaseDecomposition()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := genTable(t, "E7", nil)
 	var prev int64
 	for _, row := range tbl.Rows {
 		r, err := strconv.ParseInt(row[4], 10, 64)
@@ -148,10 +153,7 @@ func TestE7ReductionGrows(t *testing.T) {
 }
 
 func TestE8FaithfulAlwaysCorrect(t *testing.T) {
-	tbl, err := E8Election(25, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := genTable(t, "E8", func(p *Params) { p.Trials = 25; p.Seed = 4 })
 	if len(tbl.Rows) != 2 {
 		t.Fatalf("rows = %v", tbl.Rows)
 	}
@@ -166,10 +168,7 @@ func TestE8FaithfulAlwaysCorrect(t *testing.T) {
 }
 
 func TestE9MessagesGrow(t *testing.T) {
-	tbl, err := E9Convergence([]int{6, 12, 18}, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := genTable(t, "E9", func(p *Params) { p.Sizes = []int{6, 12, 18}; p.Seed = 5 })
 	var prev int64
 	for _, row := range tbl.Rows {
 		msgs, _ := strconv.ParseInt(row[4], 10, 64)
@@ -181,10 +180,7 @@ func TestE9MessagesGrow(t *testing.T) {
 }
 
 func TestE10FraudStrictlyUnprofitable(t *testing.T) {
-	tbl, err := E10Execution()
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := genTable(t, "E10", nil)
 	if len(tbl.Rows) < 4 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -197,11 +193,7 @@ func TestE10FraudStrictlyUnprofitable(t *testing.T) {
 }
 
 func TestRender(t *testing.T) {
-	tbl, err := E7PhaseDecomposition()
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := Render(tbl)
+	s := Render(genTable(t, "E7", nil))
 	if !strings.Contains(s, "E7") || !strings.Contains(s, "monolithic") {
 		t.Errorf("render missing content:\n%s", s)
 	}

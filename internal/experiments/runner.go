@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Runner executes a set of experiments over a worker pool. Every
+// generator derives all randomness from its Params.Seed, so the tables
+// a Runner produces are byte-identical to a sequential run regardless
+// of worker count or completion order: results are returned in input
+// order and seeds never depend on scheduling.
+type Runner struct {
+	// Workers is the pool size; <= 0 means runtime.NumCPU().
+	Workers int
+}
+
+// Run generates every experiment's table with its registered Params.
+// Tables come back in input order. If generators fail, Run reports the
+// error of the earliest failing experiment (again independent of
+// scheduling), wrapped with its ID.
+func (r Runner) Run(exps []Experiment) ([]*Table, error) {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	tables := make([]*Table, len(exps))
+	errs := make([]error, len(exps))
+	if workers <= 1 {
+		for i, e := range exps {
+			tables[i], errs[i] = e.Run()
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					tables[i], errs[i] = exps[i].Run()
+				}
+			}()
+		}
+		for i := range exps {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", exps[i].ID, err)
+		}
+	}
+	return tables, nil
+}
+
+// RunIDs resolves a regular expression against the registry and runs
+// the matching experiments. An empty pattern runs everything.
+func (r Runner) RunIDs(pattern string) ([]*Table, error) {
+	exps, err := Match(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if len(exps) == 0 {
+		return nil, fmt.Errorf("no experiment matches %q", pattern)
+	}
+	return r.Run(exps)
+}
+
+// All runs every registered experiment with default parameters across
+// the default worker pool, in canonical order.
+func All() ([]*Table, error) {
+	return Runner{}.Run(Experiments())
+}

@@ -104,6 +104,9 @@ func TestPlainFPSSVCGKeepsCostMisreportsUnprofitable(t *testing.T) {
 }
 
 func TestFaithfulSystemIsFaithfulFigure1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full deviation search over Figure 1 is the slow lane")
+	}
 	g := graph.Figure1()
 	sys := &FaithfulSystem{Graph: g, Params: DefaultParams(g)}
 	rep, err := core.CheckFaithfulness(sys)
