@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON array, and compares two such JSON files benchstat-style.
+// It backs the CI bench-compare step that publishes BENCH_graph.json:
+//
+//	go test -bench . -benchmem -run '^$' ./internal/graph | benchjson > BENCH_graph.json
+//	benchjson -compare BENCH_graph.baseline.json BENCH_graph.json
+//
+// Compare prints one row per benchmark present in both files with the
+// time and allocation deltas; it never fails the build (perf drift is
+// surfaced, not gated, because CI runners are noisy).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iters"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BytesOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkAllPairs/n=64-8   100   633407 ns/op   302692 B/op   4162 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	compare := flag.String("compare", "", "old.json to diff against; requires new.json as the positional arg")
+	flag.Parse()
+	if err := run(*compare, flag.Args(), os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(compare string, args []string, in io.Reader, out io.Writer) error {
+	if compare != "" {
+		if len(args) != 1 {
+			return fmt.Errorf("-compare needs exactly one positional new.json, got %d args", len(args))
+		}
+		return runCompare(compare, args[0], out)
+	}
+	results, err := parse(in)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// parse extracts benchmark lines from `go test -bench` output,
+// stripping the -cpu suffix (`-8`) so names are machine-independent.
+func parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		res := Result{Name: name, Iters: iters, NsPerOp: ns}
+		if m[4] != "" {
+			res.BytesOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			res.AllocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+func load(path string) (map[string]Result, []string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var list []Result
+	if err := json.Unmarshal(b, &list); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]Result, len(list))
+	order := make([]string, 0, len(list))
+	for _, r := range list {
+		if _, dup := m[r.Name]; !dup {
+			order = append(order, r.Name)
+		}
+		m[r.Name] = r
+	}
+	return m, order, nil
+}
+
+func runCompare(oldPath, newPath string, out io.Writer) error {
+	oldM, order, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newM, _, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-40s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs Δ")
+	for _, name := range order {
+		o := oldM[name]
+		n, ok := newM[name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s %14.0f %14s %8s %10s\n", name, o.NsPerOp, "gone", "", "")
+			continue
+		}
+		delta := "~"
+		if o.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(n.NsPerOp-o.NsPerOp)/o.NsPerOp)
+		}
+		allocs := fmt.Sprintf("%+d", n.AllocsOp-o.AllocsOp)
+		fmt.Fprintf(w, "%-40s %14.0f %14.0f %8s %10s\n", name, o.NsPerOp, n.NsPerOp, delta, allocs)
+	}
+	var added []string
+	for name := range newM {
+		if _, ok := oldM[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Fprintf(w, "%-40s %14s %14.0f %8s %10s\n", name, "new", newM[name].NsPerOp, "", "")
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/graph
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSSSP32-8   	     100	      1583 ns/op	       5 B/op	       0 allocs/op
+BenchmarkAllPairs/n=64-8         	     100	    633407 ns/op	  302692 B/op	    4162 allocs/op
+BenchmarkNoMem-8   	     200	      77.5 ns/op
+PASS
+ok  	repro/internal/graph	0.398s
+`
+
+func TestParse(t *testing.T) {
+	res, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(res))
+	}
+	if res[0].Name != "BenchmarkSSSP32" || res[0].AllocsOp != 0 || res[0].BytesOp != 5 {
+		t.Errorf("first result = %+v", res[0])
+	}
+	if res[1].Name != "BenchmarkAllPairs/n=64" || res[1].NsPerOp != 633407 || res[1].AllocsOp != 4162 {
+		t.Errorf("second result = %+v", res[1])
+	}
+	if res[2].Name != "BenchmarkNoMem" || res[2].NsPerOp != 77.5 {
+		t.Errorf("third result = %+v", res[2])
+	}
+}
+
+func TestRunJSONRoundTrip(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("", nil, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var list []Result
+	if err := json.Unmarshal(out.Bytes(), &list); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(list) != 3 || list[1].Iters != 100 {
+		t.Fatalf("round trip lost data: %+v", list)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldJSON := `[{"name":"BenchmarkA","iters":10,"ns_per_op":1000,"allocs_per_op":50},
+	             {"name":"BenchmarkGone","iters":10,"ns_per_op":5}]`
+	newJSON := `[{"name":"BenchmarkA","iters":10,"ns_per_op":500,"allocs_per_op":5},
+	             {"name":"BenchmarkNew","iters":10,"ns_per_op":7}]`
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(oldJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(oldPath, []string{newPath}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"-50.0%", "-45", "gone", "BenchmarkNew"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("compare output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCompareArgValidation(t *testing.T) {
+	if err := run("old.json", nil, nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error without positional new.json")
+	}
+}

@@ -55,7 +55,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("topology: %s, n=%d, edges=%d, diameter=%d\n", *topology, g.N(), g.M(), g.Diameter())
+	diameter, err := g.Diameter()
+	if err != nil {
+		return fmt.Errorf("diameter: %w", err)
+	}
+	fmt.Printf("topology: %s, n=%d, edges=%d, diameter=%d\n", *topology, g.N(), g.M(), diameter)
 
 	if *useFaithful {
 		return runFaithful(g)

@@ -467,9 +467,13 @@ func E9Convergence(p Params) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		diameter, err := g.Diameter()
+		if err != nil {
+			return nil, err
+		}
 		phase2Msgs := res.Phase2.Sent - res.Phase1.Sent
 		t.Rows = append(t.Rows, []string{
-			itoa(int64(n)), itoa(int64(g.M())), itoa(int64(g.Diameter())),
+			itoa(int64(n)), itoa(int64(g.M())), itoa(int64(diameter)),
 			itoa(res.Phase1.Sent), itoa(phase2Msgs),
 			fmt.Sprintf("%.1f", float64(res.Phase2.Sent)/float64(n)),
 			itoa(res.Phase2.Steps),

@@ -102,7 +102,9 @@ func Run(cfg Config) (*Result, error) {
 	checkersOf := make(map[graph.NodeID][]graph.NodeID, n)
 	for i := 0; i < n; i++ {
 		id := graph.NodeID(i)
-		neighborsOf[id] = cfg.Graph.Neighbors(id)
+		// Read-only views into the graph's shared CSR adjacency; Node
+		// constructors copy what they keep.
+		neighborsOf[id] = cfg.Graph.AdjView(id)
 		checkers := neighborsOf[id]
 		if cfg.CheckerLimit > 0 && cfg.CheckerLimit < len(checkers) {
 			checkers = checkers[:cfg.CheckerLimit]

@@ -1,0 +1,39 @@
+package fpss
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// benchSizes is the size ladder reported in BENCH_graph.json; keep in
+// sync with the graph package's AllPairs ladder so the two artifacts
+// line up.
+var benchSizes = []int{16, 32, 64, 128}
+
+func benchCentralGraph(b *testing.B, n int) *graph.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	g, err := graph.RandomBiconnected(n, n, 10, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkComputeCentral(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := benchCentralGraph(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ComputeCentral(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -3,6 +3,8 @@ package fpss
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -34,6 +36,14 @@ type Solution struct {
 // Identity tags are the set of the owner's neighbors v whose best
 // avoid-k continuation attains the minimum — the "union of the nodes
 // that suggested the same pricing entry" (§4.3 DATA3*).
+//
+// The computation is batched and parallel: one parent-pointer SSSP
+// tree per source for the base routes, then one avoid-k sweep per
+// node k that actually appears as a transit node on some LCP (nodes
+// that are never transit need no marginal economy), all fanned out
+// over a worker pool with per-worker scratch. Results are
+// deterministic — byte-identical to the sequential reference —
+// because every job writes only its own slot.
 func ComputeCentral(g *graph.Graph) (*Solution, error) {
 	if !g.IsBiconnected() {
 		return nil, ErrNotBiconnected
@@ -47,31 +57,90 @@ func ComputeCentral(g *graph.Graph) (*Solution, error) {
 	for i := 0; i < n; i++ {
 		sol.Costs[graph.NodeID(i)] = g.Cost(graph.NodeID(i))
 	}
-	dist, paths, err := g.AllPairs()
+
+	// Base trees: one full SSSP per source, in parallel.
+	base := make([]*graph.Tree, n)
+	err := parallelFor(n, func(w *centralWorker, i int) error {
+		t := &graph.Tree{}
+		if err := g.SSSP(t, w.scratch, graph.NodeID(i), nil); err != nil {
+			return fmt.Errorf("all pairs from %d: %w", i, err)
+		}
+		base[i] = t
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("all pairs: %w", err)
+		return nil, err
 	}
 
-	// avoidDist[k][v][j] / avoidPath[k][v][j]: lowest-cost v→j routes
-	// in G−k (node k isolated), used for marginal values and tags.
-	avoidDist := make(map[graph.NodeID][][]graph.Cost, n)
-	avoidPath := make(map[graph.NodeID][][]graph.Path, n)
-	for k := 0; k < n; k++ {
-		kid := graph.NodeID(k)
-		gk, err := g.WithoutNode(kid)
+	// Transit set: a node k needs an avoid-k economy only if it is an
+	// intermediate node on some LCP. Every intermediate node is the
+	// immediate parent of the next node on that LCP — which, by prefix
+	// optimality, is itself a tree destination — so marking each
+	// destination's parent covers the whole set in O(n²) total.
+	isTransit := make([]bool, n)
+	transitCount := 0
+	for i := 0; i < n; i++ {
+		t := base[i]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if !t.Reached(graph.NodeID(j)) {
+				return nil, fmt.Errorf("fpss: no path %d→%d despite biconnectivity", i, j)
+			}
+			if p := t.Parent[j]; p != -1 && graph.NodeID(p) != t.Src && !isTransit[p] {
+				isTransit[p] = true
+				transitCount++
+			}
+		}
+	}
+
+	// Avoid-k trees for transit nodes only: avoidTrees[k][v] is the
+	// lowest-cost route tree from v in G−k. One parallel job per k so
+	// per-job work (n−1 sweeps) amortizes scheduling; tag computation
+	// needs rows for every source v ≠ k, so the sweep is full.
+	avoidTrees := make([][]*graph.Tree, n)
+	if transitCount > 0 {
+		jobs := make([]int, 0, transitCount)
+		for k := 0; k < n; k++ {
+			if isTransit[k] {
+				jobs = append(jobs, k)
+			}
+		}
+		err = parallelFor(len(jobs), func(w *centralWorker, ji int) error {
+			k := jobs[ji]
+			kid := graph.NodeID(k)
+			w.avoid.Clear()
+			w.avoid.Add(kid)
+			trees := make([]*graph.Tree, n)
+			for v := 0; v < n; v++ {
+				if v == k {
+					continue
+				}
+				t := &graph.Tree{}
+				if err := g.SSSP(t, w.scratch, graph.NodeID(v), w.avoid); err != nil {
+					return fmt.Errorf("all pairs without %d: %w", k, err)
+				}
+				trees[v] = t
+			}
+			avoidTrees[k] = trees
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		d, p, err := gk.AllPairs()
-		if err != nil {
-			return nil, fmt.Errorf("all pairs without %d: %w", k, err)
-		}
-		avoidDist[kid] = d
-		avoidPath[kid] = p
 	}
 
-	for i := 0; i < n; i++ {
+	// Assemble per-source routing and pricing tables, one parallel job
+	// per source (each writes only its own slot).
+	routing := make([]RoutingTable, n)
+	pricing := make([]PricingTable, n)
+	err = parallelFor(n, func(w *centralWorker, i int) error {
 		src := graph.NodeID(i)
+		t := base[i]
+		// One CSR-view fetch (and csrMu acquisition) per source job,
+		// not per price entry.
+		neighbors := g.AdjView(src)
 		rt := make(RoutingTable, n-1)
 		pt := make(PricingTable)
 		for j := 0; j < n; j++ {
@@ -79,43 +148,109 @@ func ComputeCentral(g *graph.Graph) (*Solution, error) {
 				continue
 			}
 			dst := graph.NodeID(j)
-			p := paths[i][j]
-			if p == nil {
-				return nil, fmt.Errorf("fpss: no path %d→%d despite biconnectivity", i, j)
-			}
-			rt[dst] = RouteEntry{Dest: dst, Cost: dist[i][j], Path: p.Clone()}
+			p := t.PathTo(dst)
+			rt[dst] = RouteEntry{Dest: dst, Cost: t.Dist[j], Path: p}
 			transits := p.TransitNodes()
 			if len(transits) == 0 {
 				continue
 			}
 			row := make(map[graph.NodeID]PriceEntry, len(transits))
 			for _, k := range transits {
-				witness := avoidPath[k][i][j]
-				if witness == nil {
-					return nil, fmt.Errorf("fpss: no avoid-%d path %d→%d", k, i, j)
+				noK := avoidTrees[k][i]
+				if noK == nil || !noK.Reached(dst) {
+					return fmt.Errorf("fpss: no avoid-%d path %d→%d", k, i, j)
 				}
-				b := avoidDist[k][i][j]
+				b := noK.Dist[dst]
 				row[k] = PriceEntry{
 					Transit: k,
-					Price:   g.Cost(k) + b - dist[i][j],
-					Avoid:   witness.Clone(),
-					Tags:    centralTags(g, src, dst, k, b, avoidDist[k]),
+					Price:   g.Cost(k) + b - t.Dist[j],
+					Avoid:   noK.PathTo(dst),
+					Tags:    centralTags(g, neighbors, dst, k, b, avoidTrees[k]),
 				}
 			}
 			pt[dst] = row
 		}
-		sol.Routing[src] = rt
-		sol.Pricing[src] = pt
+		routing[i] = rt
+		pricing[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		sol.Routing[graph.NodeID(i)] = routing[i]
+		sol.Pricing[graph.NodeID(i)] = pricing[i]
 	}
 	return sol, nil
 }
 
-// centralTags returns the sorted set of src's neighbors v ≠ k whose
-// avoid-k continuation cost equals the minimum b:
+// centralWorker is one worker's private state in a parallelFor fan-out.
+type centralWorker struct {
+	scratch *graph.Scratch
+	avoid   *graph.NodeSet
+}
+
+// centralWorkers overrides the pricing-core pool size when positive;
+// zero means runtime.NumCPU(). Tests pin it to exercise the parallel
+// path regardless of the host's core count.
+var centralWorkers int
+
+// parallelFor runs fn(worker, i) for every i in [0, n) over a worker
+// pool (the experiments/runner.go idiom). Each worker owns a scratch,
+// every job writes only index-i state, and the earliest failing
+// index's error is reported — so results and errors are independent of
+// scheduling.
+func parallelFor(n int, fn func(w *centralWorker, i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := centralWorkers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		w := &centralWorker{scratch: graph.NewScratch(0), avoid: graph.NewNodeSet(0)}
+		for i := 0; i < n; i++ {
+			errs[i] = fn(w, i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				state := &centralWorker{scratch: graph.NewScratch(0), avoid: graph.NewNodeSet(0)}
+				for i := range jobs {
+					errs[i] = fn(state, i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// centralTags returns the sorted set of the owner's neighbors v ≠ k
+// whose avoid-k continuation cost equals the minimum b:
 // contribution(v) = 0 if v == dst, else ĉ_v + dist_{G−k}(v, dst).
-func centralTags(g *graph.Graph, src, dst, k graph.NodeID, b graph.Cost, distNoK [][]graph.Cost) []graph.NodeID {
-	var tags []graph.NodeID
-	for _, v := range g.Neighbors(src) {
+// neighbors is the owner's ascending adjacency view.
+func centralTags(g *graph.Graph, neighbors []graph.NodeID, dst, k graph.NodeID, b graph.Cost, treesNoK []*graph.Tree) []graph.NodeID {
+	tags := make([]graph.NodeID, 0, len(neighbors))
+	for _, v := range neighbors {
 		if v == k {
 			continue
 		}
@@ -123,7 +258,7 @@ func centralTags(g *graph.Graph, src, dst, k graph.NodeID, b graph.Cost, distNoK
 		if v == dst {
 			contribution = 0
 		} else {
-			dvj := distNoK[v][dst]
+			dvj := treesNoK[v].Dist[dst]
 			if dvj >= graph.Infinity {
 				continue
 			}
@@ -133,13 +268,15 @@ func centralTags(g *graph.Graph, src, dst, k graph.NodeID, b graph.Cost, distNoK
 			tags = append(tags, v)
 		}
 	}
-	sortIDs(tags)
+	// AdjView is ascending, so tags are already sorted.
 	return tags
 }
 
 // VCGPayment returns the centralized per-packet VCG payment owed by
 // src to transit k for traffic to dst, straight from the definition.
-// It is the oracle used by tests.
+// It is the oracle used by tests. Both underlying searches exit early
+// once dst settles; for repeated queries over one graph, use VCGOracle
+// to reuse the distance views instead of re-running SSSP per call.
 func VCGPayment(g *graph.Graph, src, dst, k graph.NodeID) (graph.Cost, error) {
 	p, d, err := g.ShortestPath(src, dst)
 	if err != nil {
@@ -153,4 +290,91 @@ func VCGPayment(g *graph.Graph, src, dst, k graph.NodeID) (graph.Cost, error) {
 		return 0, err
 	}
 	return g.Cost(k) + avoidCost - d, nil
+}
+
+// VCGOracle answers repeated VCG payment queries against one fixed
+// graph from precomputed distance views: the base route tree per
+// source and the avoid-k tree per (source, k) pair, both built lazily
+// on first use and reused afterwards. Not safe for concurrent use.
+type VCGOracle struct {
+	g       *graph.Graph
+	scratch *graph.Scratch
+	avoid   *graph.NodeSet
+	base    map[graph.NodeID]*graph.Tree
+	avoided map[[2]graph.NodeID]*graph.Tree // (src, k) → tree in G−k
+}
+
+// NewVCGOracle returns an empty oracle over g. The graph's topology
+// and costs must not change for the oracle's lifetime.
+func NewVCGOracle(g *graph.Graph) *VCGOracle {
+	return &VCGOracle{
+		g:       g,
+		scratch: graph.NewScratch(g.N()),
+		avoid:   graph.NewNodeSet(g.N()),
+		base:    make(map[graph.NodeID]*graph.Tree),
+		avoided: make(map[[2]graph.NodeID]*graph.Tree),
+	}
+}
+
+// baseTree returns (building if needed) the full route tree from src.
+func (o *VCGOracle) baseTree(src graph.NodeID) (*graph.Tree, error) {
+	if t, ok := o.base[src]; ok {
+		return t, nil
+	}
+	t := &graph.Tree{}
+	if err := o.g.SSSP(t, o.scratch, src, nil); err != nil {
+		return nil, err
+	}
+	o.base[src] = t
+	return t, nil
+}
+
+// avoidTree returns (building if needed) the route tree from src in G−k.
+func (o *VCGOracle) avoidTree(src, k graph.NodeID) (*graph.Tree, error) {
+	key := [2]graph.NodeID{src, k}
+	if t, ok := o.avoided[key]; ok {
+		return t, nil
+	}
+	o.avoid.Clear()
+	o.avoid.Add(k)
+	t := &graph.Tree{}
+	if err := o.g.SSSP(t, o.scratch, src, o.avoid); err != nil {
+		return nil, err
+	}
+	o.avoided[key] = t
+	return t, nil
+}
+
+// Payment returns the per-packet VCG payment owed by src to transit k
+// for traffic to dst — the same value as VCGPayment, from cached
+// distance views.
+func (o *VCGOracle) Payment(src, dst, k graph.NodeID) (graph.Cost, error) {
+	if k == src || k == dst {
+		return 0, nil
+	}
+	t, err := o.baseTree(src)
+	if err != nil {
+		return 0, err
+	}
+	if !t.Reached(dst) {
+		return 0, graph.ErrNoPath
+	}
+	onLCP := false
+	for p := t.Parent[dst]; p != -1 && graph.NodeID(p) != src; p = t.Parent[p] {
+		if graph.NodeID(p) == k {
+			onLCP = true
+			break
+		}
+	}
+	if !onLCP {
+		return 0, nil
+	}
+	noK, err := o.avoidTree(src, k)
+	if err != nil {
+		return 0, err
+	}
+	if !noK.Reached(dst) {
+		return 0, graph.ErrNoPath
+	}
+	return o.g.Cost(k) + noK.Dist[dst] - t.Dist[dst], nil
 }

@@ -1,0 +1,255 @@
+package fpss
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// computeCentralOracle is the pre-optimization ComputeCentral, kept
+// verbatim as a differential oracle: sequential, one WithoutNode clone
+// plus a full path-materializing AllPairs per node, map-based avoid
+// sets, sort.Slice tag sorts. TestDifferentialComputeCentral proves
+// the batched parallel core produces byte-identical tables.
+func computeCentralOracle(g *graph.Graph) (*Solution, error) {
+	if !g.IsBiconnected() {
+		return nil, ErrNotBiconnected
+	}
+	n := g.N()
+	sol := &Solution{
+		Costs:   make(CostTable, n),
+		Routing: make(map[graph.NodeID]RoutingTable, n),
+		Pricing: make(map[graph.NodeID]PricingTable, n),
+	}
+	for i := 0; i < n; i++ {
+		sol.Costs[graph.NodeID(i)] = g.Cost(graph.NodeID(i))
+	}
+	dist, paths, err := g.AllPairs()
+	if err != nil {
+		return nil, fmt.Errorf("all pairs: %w", err)
+	}
+
+	avoidDist := make(map[graph.NodeID][][]graph.Cost, n)
+	avoidPath := make(map[graph.NodeID][][]graph.Path, n)
+	for k := 0; k < n; k++ {
+		kid := graph.NodeID(k)
+		gk, err := g.WithoutNode(kid)
+		if err != nil {
+			return nil, err
+		}
+		d, p, err := gk.AllPairs()
+		if err != nil {
+			return nil, fmt.Errorf("all pairs without %d: %w", k, err)
+		}
+		avoidDist[kid] = d
+		avoidPath[kid] = p
+	}
+
+	for i := 0; i < n; i++ {
+		src := graph.NodeID(i)
+		rt := make(RoutingTable, n-1)
+		pt := make(PricingTable)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dst := graph.NodeID(j)
+			p := paths[i][j]
+			if p == nil {
+				return nil, fmt.Errorf("fpss: no path %d→%d despite biconnectivity", i, j)
+			}
+			rt[dst] = RouteEntry{Dest: dst, Cost: dist[i][j], Path: p.Clone()}
+			transits := p.TransitNodes()
+			if len(transits) == 0 {
+				continue
+			}
+			row := make(map[graph.NodeID]PriceEntry, len(transits))
+			for _, k := range transits {
+				witness := avoidPath[k][i][j]
+				if witness == nil {
+					return nil, fmt.Errorf("fpss: no avoid-%d path %d→%d", k, i, j)
+				}
+				b := avoidDist[k][i][j]
+				row[k] = PriceEntry{
+					Transit: k,
+					Price:   g.Cost(k) + b - dist[i][j],
+					Avoid:   witness.Clone(),
+					Tags:    oracleTags(g, src, dst, k, b, avoidDist[k]),
+				}
+			}
+			pt[dst] = row
+		}
+		sol.Routing[src] = rt
+		sol.Pricing[src] = pt
+	}
+	return sol, nil
+}
+
+// oracleTags is the pre-optimization centralTags (Neighbors copy,
+// append, sort.Slice).
+func oracleTags(g *graph.Graph, src, dst, k graph.NodeID, b graph.Cost, distNoK [][]graph.Cost) []graph.NodeID {
+	var tags []graph.NodeID
+	for _, v := range g.Neighbors(src) {
+		if v == k {
+			continue
+		}
+		var contribution graph.Cost
+		if v == dst {
+			contribution = 0
+		} else {
+			dvj := distNoK[v][dst]
+			if dvj >= graph.Infinity {
+				continue
+			}
+			contribution = g.Cost(v) + dvj
+		}
+		if contribution == b {
+			tags = append(tags, v)
+		}
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+	return tags
+}
+
+func solutionsIdentical(t *testing.T, seed int, want, got *Solution) {
+	t.Helper()
+	if len(want.Costs) != len(got.Costs) {
+		t.Fatalf("seed %d: cost table size %d != %d", seed, len(got.Costs), len(want.Costs))
+	}
+	if want.Costs.HashCosts() != got.Costs.HashCosts() {
+		t.Fatalf("seed %d: cost table hash mismatch", seed)
+	}
+	for id, rt := range want.Routing {
+		ort := got.Routing[id]
+		if !rt.Equal(ort) {
+			t.Fatalf("seed %d: routing table of %d differs", seed, id)
+		}
+		if rt.HashRouting() != ort.HashRouting() {
+			t.Fatalf("seed %d: routing hash of %d differs", seed, id)
+		}
+	}
+	for id, pt := range want.Pricing {
+		opt := got.Pricing[id]
+		if !pt.Equal(opt) {
+			t.Fatalf("seed %d: pricing table of %d differs (tags/witnesses included)", seed, id)
+		}
+		if pt.HashPricing() != opt.HashPricing() {
+			t.Fatalf("seed %d: pricing hash of %d differs", seed, id)
+		}
+	}
+	if len(want.Routing) != len(got.Routing) || len(want.Pricing) != len(got.Pricing) {
+		t.Fatalf("seed %d: table counts differ", seed)
+	}
+}
+
+// TestDifferentialComputeCentral checks the batched, parallel pricing
+// core against the sequential pre-optimization oracle on 200+ random
+// seeded graphs: routes, costs, witness paths, identity tags, and the
+// canonical table hashes the bank compares must all be byte-identical.
+func TestDifferentialComputeCentral(t *testing.T) {
+	const cases = 200
+	for seed := 0; seed < cases; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 4 + rng.Intn(9) // 4..12
+		var (
+			g   *graph.Graph
+			err error
+		)
+		switch seed % 3 {
+		case 0:
+			// Low max cost forces frequent route ties.
+			g, err = graph.RandomBiconnected(n, n, 3, rng)
+		case 1:
+			g, err = graph.RingWithChords(n, n/2, 8, rng)
+		default:
+			g, err = graph.RandomBiconnected(n, 2*n, 20, rng)
+		}
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := computeCentralOracle(g)
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v", seed, err)
+		}
+		got, err := ComputeCentral(g)
+		if err != nil {
+			t.Fatalf("seed %d: new: %v", seed, err)
+		}
+		solutionsIdentical(t, seed, want, got)
+	}
+	// The paper's own Figure-1 topology, for good measure.
+	g := graph.Figure1()
+	want, err := computeCentralOracle(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ComputeCentral(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solutionsIdentical(t, -1, want, got)
+}
+
+// TestComputeCentralParallelDeterministic pins the worker pool wide
+// open and checks the fan-out still produces byte-identical tables —
+// on a single-core host the NumCPU default would otherwise never take
+// the parallel branch.
+func TestComputeCentralParallelDeterministic(t *testing.T) {
+	defer func() { centralWorkers = 0 }()
+	for seed := 0; seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(int64(100 + seed)))
+		g, err := graph.RandomBiconnected(6+seed%8, 10, 5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		centralWorkers = 1
+		want, err := ComputeCentral(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		centralWorkers = 8
+		got, err := ComputeCentral(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solutionsIdentical(t, seed, want, got)
+	}
+}
+
+// TestVCGOracleMatchesVCGPayment checks the cached-distance-view
+// oracle against the from-scratch definition for every (src, dst, k).
+func TestVCGOracleMatchesVCGPayment(t *testing.T) {
+	for seed := 0; seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		g, err := graph.RandomBiconnected(8+seed, 8, 6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := NewVCGOracle(g)
+		n := g.N()
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					continue
+				}
+				for k := 0; k < n; k++ {
+					want, err := VCGPayment(g, graph.NodeID(src), graph.NodeID(dst), graph.NodeID(k))
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := oracle.Payment(graph.NodeID(src), graph.NodeID(dst), graph.NodeID(k))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want != got {
+						t.Fatalf("seed %d (%d→%d via %d): VCGPayment %d != oracle %d",
+							seed, src, dst, k, want, got)
+					}
+				}
+			}
+		}
+	}
+}

@@ -3,7 +3,7 @@ package fpss
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/sim"
@@ -18,11 +18,11 @@ func (t Traffic) Flows() [][2]graph.NodeID {
 	for k := range t {
 		out = append(out, k)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
+	slices.SortFunc(out, func(a, b [2]graph.NodeID) int {
+		if a[0] != b[0] {
+			return int(a[0] - b[0])
 		}
-		return out[i][1] < out[j][1]
+		return int(a[1] - b[1])
 	})
 	return out
 }

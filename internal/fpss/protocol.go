@@ -49,7 +49,8 @@ func Run(cfg Config) (*Result, error) {
 	nodes := make(map[graph.NodeID]*Node, cfg.Graph.N())
 	for i := 0; i < cfg.Graph.N(); i++ {
 		id := graph.NodeID(i)
-		node := NewNode(id, cfg.Graph.Cost(id), cfg.Graph.Neighbors(id), cfg.Strategies[id])
+		// AdjView shares the graph's CSR row; NewNode copies it.
+		node := NewNode(id, cfg.Graph.Cost(id), cfg.Graph.AdjView(id), cfg.Strategies[id])
 		nodes[id] = node
 		if err := net.Attach(sim.Addr(id), node); err != nil {
 			return nil, fmt.Errorf("attach %d: %w", id, err)

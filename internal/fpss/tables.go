@@ -16,7 +16,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"hash"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -271,5 +271,5 @@ func sortedKeys(t RoutingTable) []graph.NodeID {
 }
 
 func sortIDs(ids []graph.NodeID) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 }

@@ -276,20 +276,6 @@ func TestPropertyWitnessPathsValid(t *testing.T) {
 	}
 }
 
-func BenchmarkComputeCentral(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	g, err := graph.RingWithChords(24, 12, 10, rng)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := ComputeCentral(g); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
 func BenchmarkDistributedConvergence(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	g, err := graph.RingWithChords(16, 8, 10, rng)

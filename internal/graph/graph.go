@@ -14,7 +14,9 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node in a Graph. IDs are dense, starting at 0.
@@ -39,6 +41,13 @@ type Graph struct {
 	costs []Cost
 	adj   []map[NodeID]struct{}
 	names []string
+
+	// Flat CSR adjacency, built lazily on the first path query and
+	// invalidated by topology mutations. Once built it is immutable, so
+	// concurrent read-only queries (parallel all-pairs sweeps) share it.
+	csrMu  sync.Mutex
+	csrOff []int32
+	csrAdj []NodeID
 }
 
 // New returns a graph with n nodes, zero transit costs and no edges.
@@ -74,7 +83,57 @@ func (g *Graph) AddNode(c Cost) (NodeID, error) {
 	g.costs = append(g.costs, c)
 	g.adj = append(g.adj, make(map[NodeID]struct{}))
 	g.names = append(g.names, "")
+	g.invalidateCSR()
 	return NodeID(len(g.costs) - 1), nil
+}
+
+// invalidateCSR drops the flat adjacency after a topology mutation; the
+// next query rebuilds it.
+func (g *Graph) invalidateCSR() {
+	g.csrMu.Lock()
+	g.csrOff, g.csrAdj = nil, nil
+	g.csrMu.Unlock()
+}
+
+// ensureCSR returns the flat adjacency (offsets into a single sorted
+// neighbor array), building it if a mutation invalidated it. The
+// returned slices are immutable until the next mutation, so concurrent
+// queries may hold them without locking.
+func (g *Graph) ensureCSR() (off []int32, adj []NodeID) {
+	g.csrMu.Lock()
+	defer g.csrMu.Unlock()
+	if g.csrOff != nil {
+		return g.csrOff, g.csrAdj
+	}
+	n := len(g.adj)
+	off = make([]int32, n+1)
+	total := 0
+	for i, a := range g.adj {
+		total += len(a)
+		off[i+1] = int32(total)
+	}
+	adj = make([]NodeID, total)
+	for i, a := range g.adj {
+		row := adj[off[i]:off[i]]
+		for v := range a {
+			row = append(row, v)
+		}
+		slices.Sort(row)
+	}
+	g.csrOff, g.csrAdj = off, adj
+	return off, adj
+}
+
+// AdjView returns id's neighbors in ascending order as a view into the
+// shared CSR layout. The slice must be treated as read-only; it stays
+// valid until the next topology mutation. Use Neighbors for an owned
+// copy.
+func (g *Graph) AdjView(id NodeID) []NodeID {
+	if g.check(id) != nil {
+		return nil
+	}
+	off, adj := g.ensureCSR()
+	return adj[off[id]:off[id+1]]
 }
 
 func (g *Graph) check(ids ...NodeID) error {
@@ -96,6 +155,7 @@ func (g *Graph) AddEdge(u, v NodeID) error {
 	}
 	g.adj[u][v] = struct{}{}
 	g.adj[v][u] = struct{}{}
+	g.invalidateCSR()
 	return nil
 }
 
@@ -166,17 +226,12 @@ func (g *Graph) ByName(name string) (NodeID, bool) {
 	return 0, false
 }
 
-// Neighbors returns the sorted neighbor list of id.
+// Neighbors returns the sorted neighbor list of id as an owned copy.
 func (g *Graph) Neighbors(id NodeID) []NodeID {
 	if g.check(id) != nil {
 		return nil
 	}
-	out := make([]NodeID, 0, len(g.adj[id]))
-	for v := range g.adj[id] {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return slices.Clone(g.AdjView(id))
 }
 
 // Degree returns the number of neighbors of id.
@@ -212,6 +267,7 @@ func (g *Graph) WithoutNode(k NodeID) (*Graph, error) {
 		delete(c.adj[v], k)
 	}
 	c.adj[k] = make(map[NodeID]struct{})
+	c.invalidateCSR()
 	return c, nil
 }
 

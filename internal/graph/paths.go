@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"errors"
 	"math"
 )
@@ -11,6 +10,10 @@ const Infinity = Cost(math.MaxInt64 / 4)
 
 // ErrNoPath is returned when no path exists between the endpoints.
 var ErrNoPath = errors.New("graph: no path")
+
+// ErrAvoidEndpoint is returned when the avoided node is an endpoint of
+// the query.
+var ErrAvoidEndpoint = errors.New("graph: avoid node is an endpoint")
 
 // Path is a node sequence from source to destination, inclusive.
 type Path []NodeID
@@ -103,152 +106,118 @@ func (g *Graph) PathCost(p Path) (Cost, error) {
 	return total, nil
 }
 
-// label is a Dijkstra priority-queue entry.
-type label struct {
-	node NodeID
-	dist Cost
-	path Path
-}
-
-type labelHeap []label
-
-func (h labelHeap) Len() int { return len(h) }
-func (h labelHeap) Less(i, j int) bool {
-	return Better(h[i].dist, h[i].path, h[j].dist, h[j].path)
-}
-func (h labelHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *labelHeap) Push(x any)   { *h = append(*h, x.(label)) }
-func (h *labelHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
-
 // ShortestPaths computes lowest-cost paths from src to every node,
 // skipping nodes in avoid (which must not include src). Ties are broken
-// by lexicographically smallest path so results are globally unique.
-// Unreachable nodes get cost Infinity and a nil path.
+// by the composite (cost, hops, lexicographic) order so results are
+// globally unique. Unreachable nodes get cost Infinity and a nil path.
+//
+// This is the materializing convenience wrapper over SSSP; hot paths
+// that issue many queries should drive SSSP/SSSPTo directly with a
+// reused Tree and Scratch.
 func (g *Graph) ShortestPaths(src NodeID, avoid map[NodeID]bool) ([]Cost, []Path, error) {
-	if err := g.check(src); err != nil {
+	st := ssspPool.Get().(*ssspState)
+	defer ssspPool.Put(st)
+	if err := g.SSSP(&st.t, &st.s, src, st.s.avoidSet(g.N(), avoid)); err != nil {
 		return nil, nil, err
-	}
-	if avoid[src] {
-		return nil, nil, errors.New("graph: source is in avoid set")
 	}
 	n := g.N()
 	dist := make([]Cost, n)
-	best := make([]Path, n)
-	done := make([]bool, n)
-	for i := range dist {
-		dist[i] = Infinity
+	copy(dist, st.t.Dist)
+	paths := make([]Path, n)
+	for i := range paths {
+		paths[i] = st.t.PathTo(NodeID(i))
 	}
-	h := &labelHeap{{node: src, dist: 0, path: Path{src}}}
-	for h.Len() > 0 {
-		cur := heap.Pop(h).(label)
-		u := cur.node
-		if done[u] {
-			continue
-		}
-		done[u] = true
-		dist[u] = cur.dist
-		best[u] = cur.path
-		// Extending beyond u makes u a transit node (unless u is src).
-		var transit Cost
-		if u != src {
-			transit = g.costs[u]
-		}
-		for _, v := range g.Neighbors(u) {
-			if done[v] || avoid[v] {
-				continue
-			}
-			nd := cur.dist + transit
-			np := append(cur.path.Clone(), v)
-			if best[v] == nil || Better(nd, np, dist[v], best[v]) {
-				// Lazy deletion: push an improved label; stale ones are
-				// skipped via done[]. For tie-breaking we must also push
-				// equal-cost lexicographically smaller labels, tracking
-				// the tentative best path to bound heap growth.
-				dist[v] = nd
-				best[v] = np
-				heap.Push(h, label{node: v, dist: nd, path: np})
-			}
-		}
-	}
-	for i := range best {
-		if !done[i] {
-			best[i] = nil
-			dist[i] = Infinity
-		}
-	}
-	return dist, best, nil
+	return dist, paths, nil
 }
 
 // ShortestPath returns the unique (tie-broken) lowest-cost path and its
-// cost from src to dst.
+// cost from src to dst. The search exits as soon as dst is settled
+// instead of computing all n destinations.
 func (g *Graph) ShortestPath(src, dst NodeID) (Path, Cost, error) {
 	if err := g.check(src, dst); err != nil {
 		return nil, 0, err
 	}
-	dist, paths, err := g.ShortestPaths(src, nil)
-	if err != nil {
+	st := ssspPool.Get().(*ssspState)
+	defer ssspPool.Put(st)
+	if err := g.SSSPTo(&st.t, &st.s, src, dst, nil); err != nil {
 		return nil, 0, err
 	}
-	if paths[dst] == nil {
+	if !st.t.Reached(dst) {
 		return nil, Infinity, ErrNoPath
 	}
-	return paths[dst], dist[dst], nil
+	return st.t.PathTo(dst), st.t.Dist[dst], nil
 }
 
 // ShortestPathAvoiding returns the lowest-cost src→dst path that does
 // not transit node k. Used for VCG payments: the marginal value of k.
+// Like ShortestPath it settles only as much of the graph as needed to
+// reach dst.
 func (g *Graph) ShortestPathAvoiding(src, dst, k NodeID) (Path, Cost, error) {
 	if err := g.check(src, dst, k); err != nil {
 		return nil, 0, err
 	}
 	if k == src || k == dst {
-		return nil, 0, errors.New("graph: avoid node is an endpoint")
+		return nil, 0, ErrAvoidEndpoint
 	}
-	dist, paths, err := g.ShortestPaths(src, map[NodeID]bool{k: true})
-	if err != nil {
+	st := ssspPool.Get().(*ssspState)
+	defer ssspPool.Put(st)
+	st.s.avoid.grow(g.N())
+	st.s.avoid.Clear()
+	st.s.avoid.Add(k)
+	if err := g.SSSPTo(&st.t, &st.s, src, dst, &st.s.avoid); err != nil {
 		return nil, 0, err
 	}
-	if paths[dst] == nil {
+	if !st.t.Reached(dst) {
 		return nil, Infinity, ErrNoPath
 	}
-	return paths[dst], dist[dst], nil
+	return st.t.PathTo(dst), st.t.Dist[dst], nil
 }
 
 // AllPairs computes the lowest-cost path matrix. paths[i][j] is nil on
 // the diagonal and for unreachable pairs.
 func (g *Graph) AllPairs() (dist [][]Cost, paths [][]Path, err error) {
+	st := ssspPool.Get().(*ssspState)
+	defer ssspPool.Put(st)
 	n := g.N()
 	dist = make([][]Cost, n)
 	paths = make([][]Path, n)
 	for i := 0; i < n; i++ {
-		d, p, e := g.ShortestPaths(NodeID(i), nil)
-		if e != nil {
-			return nil, nil, e
+		if err := g.SSSP(&st.t, &st.s, NodeID(i), nil); err != nil {
+			return nil, nil, err
+		}
+		d := make([]Cost, n)
+		copy(d, st.t.Dist)
+		p := make([]Path, n)
+		for j := range p {
+			if j != i {
+				p[j] = st.t.PathTo(NodeID(j))
+			}
 		}
 		dist[i] = d
 		paths[i] = p
-		paths[i][i] = nil
 	}
 	return dist, paths, nil
 }
 
 // Diameter returns the maximum hop count over all lowest-cost paths,
-// or 0 for graphs with fewer than two nodes.
-func (g *Graph) Diameter() int {
-	_, paths, err := g.AllPairs()
-	if err != nil {
-		return 0
-	}
+// or 0 for graphs with fewer than two nodes. Unreachable pairs do not
+// count toward the diameter.
+func (g *Graph) Diameter() (int, error) {
+	st := ssspPool.Get().(*ssspState)
+	defer ssspPool.Put(st)
 	maxHops := 0
-	for i := range paths {
-		for j := range paths[i] {
-			if i == j || paths[i][j] == nil {
+	for i := 0; i < g.N(); i++ {
+		if err := g.SSSP(&st.t, &st.s, NodeID(i), nil); err != nil {
+			return 0, err
+		}
+		for j := range st.t.Hops {
+			if j == i || !st.t.Reached(NodeID(j)) {
 				continue
 			}
-			if h := len(paths[i][j]) - 1; h > maxHops {
+			if h := int(st.t.Hops[j]); h > maxHops {
 				maxHops = h
 			}
 		}
 	}
-	return maxHops
+	return maxHops, nil
 }

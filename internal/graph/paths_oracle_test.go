@@ -1,0 +1,267 @@
+package graph
+
+// The pre-optimization Dijkstra, kept verbatim as a differential
+// oracle: it materializes a full path per heap label and compares
+// whole paths inside the heap, which makes its route order trivially
+// auditable against Better. TestDifferentialSSSPOracle proves the
+// parent-pointer core in sssp.go reproduces it byte for byte.
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// oracleLabel is a Dijkstra priority-queue entry of the reference
+// implementation.
+type oracleLabel struct {
+	node NodeID
+	dist Cost
+	path Path
+}
+
+type oracleHeap []oracleLabel
+
+func (h oracleHeap) Len() int { return len(h) }
+func (h oracleHeap) Less(i, j int) bool {
+	return Better(h[i].dist, h[i].path, h[j].dist, h[j].path)
+}
+func (h oracleHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *oracleHeap) Push(x any)   { *h = append(*h, x.(oracleLabel)) }
+func (h *oracleHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// oracleShortestPaths is the original path-materializing
+// ShortestPaths, unchanged except for its name.
+func (g *Graph) oracleShortestPaths(src NodeID, avoid map[NodeID]bool) ([]Cost, []Path, error) {
+	if err := g.check(src); err != nil {
+		return nil, nil, err
+	}
+	if avoid[src] {
+		return nil, nil, errors.New("graph: source is in avoid set")
+	}
+	n := g.N()
+	dist := make([]Cost, n)
+	best := make([]Path, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	h := &oracleHeap{{node: src, dist: 0, path: Path{src}}}
+	for h.Len() > 0 {
+		cur := heap.Pop(h).(oracleLabel)
+		u := cur.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		dist[u] = cur.dist
+		best[u] = cur.path
+		// Extending beyond u makes u a transit node (unless u is src).
+		var transit Cost
+		if u != src {
+			transit = g.costs[u]
+		}
+		for _, v := range g.Neighbors(u) {
+			if done[v] || avoid[v] {
+				continue
+			}
+			nd := cur.dist + transit
+			np := append(cur.path.Clone(), v)
+			if best[v] == nil || Better(nd, np, dist[v], best[v]) {
+				dist[v] = nd
+				best[v] = np
+				heap.Push(h, oracleLabel{node: v, dist: nd, path: np})
+			}
+		}
+	}
+	for i := range best {
+		if !done[i] {
+			best[i] = nil
+			dist[i] = Infinity
+		}
+	}
+	return dist, best, nil
+}
+
+// diffGraph builds the seeded graph for differential case i, cycling
+// through the generators and a range of sizes and densities so ties
+// (equal-cost, equal-hop alternatives) are common.
+func diffGraph(t *testing.T, seed int) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(seed)))
+	n := 4 + rng.Intn(13) // 4..16
+	var (
+		g   *Graph
+		err error
+	)
+	switch seed % 3 {
+	case 0:
+		// Low max cost forces frequent cost ties.
+		g, err = RandomBiconnected(n, n, 3, rng)
+	case 1:
+		g, err = RingWithChords(n, n/2, 8, rng)
+	default:
+		g, err = RandomBiconnected(n, 2*n, 20, rng)
+	}
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return g
+}
+
+// TestDifferentialSSSPOracle checks the parent-pointer core against
+// the reference Dijkstra on 200+ random seeded graphs: every source,
+// every destination, full sweeps and single-avoid sweeps, distances
+// and routes byte-identical.
+func TestDifferentialSSSPOracle(t *testing.T) {
+	const cases = 220
+	for seed := 0; seed < cases; seed++ {
+		g := diffGraph(t, seed)
+		n := g.N()
+		for src := 0; src < n; src++ {
+			wantD, wantP, err := g.oracleShortestPaths(NodeID(src), nil)
+			if err != nil {
+				t.Fatalf("seed %d: oracle: %v", seed, err)
+			}
+			gotD, gotP, err := g.ShortestPaths(NodeID(src), nil)
+			if err != nil {
+				t.Fatalf("seed %d: new: %v", seed, err)
+			}
+			for j := 0; j < n; j++ {
+				if wantD[j] != gotD[j] || !wantP[j].Equal(gotP[j]) {
+					t.Fatalf("seed %d src %d dst %d: oracle (%d, %v) != new (%d, %v)",
+						seed, src, j, wantD[j], wantP[j], gotD[j], gotP[j])
+				}
+			}
+		}
+		// Avoid-k sweeps from a couple of sources per graph.
+		for src := 0; src < n && src < 3; src++ {
+			for k := 0; k < n; k++ {
+				if k == src {
+					continue
+				}
+				avoid := map[NodeID]bool{NodeID(k): true}
+				wantD, wantP, err := g.oracleShortestPaths(NodeID(src), avoid)
+				if err != nil {
+					t.Fatalf("seed %d: oracle avoid %d: %v", seed, k, err)
+				}
+				gotD, gotP, err := g.ShortestPaths(NodeID(src), avoid)
+				if err != nil {
+					t.Fatalf("seed %d: new avoid %d: %v", seed, k, err)
+				}
+				for j := 0; j < n; j++ {
+					if wantD[j] != gotD[j] || !wantP[j].Equal(gotP[j]) {
+						t.Fatalf("seed %d src %d avoid %d dst %d: oracle (%d, %v) != new (%d, %v)",
+							seed, src, k, j, wantD[j], wantP[j], gotD[j], gotP[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSSSPToMatchesFullSweep checks the early-exit single-target path
+// against the full sweep (and hence, transitively, the oracle).
+func TestSSSPToMatchesFullSweep(t *testing.T) {
+	for seed := 0; seed < 40; seed++ {
+		g := diffGraph(t, seed)
+		n := g.N()
+		for src := 0; src < n; src++ {
+			wantD, wantP, err := g.ShortestPaths(NodeID(src), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for dst := 0; dst < n; dst++ {
+				p, c, err := g.ShortestPath(NodeID(src), NodeID(dst))
+				if err != nil {
+					t.Fatalf("seed %d %d→%d: %v", seed, src, dst, err)
+				}
+				if c != wantD[dst] || !p.Equal(wantP[dst]) {
+					t.Fatalf("seed %d %d→%d: early-exit (%d, %v) != sweep (%d, %v)",
+						seed, src, dst, c, p, wantD[dst], wantP[dst])
+				}
+			}
+		}
+	}
+}
+
+func TestTreePathReconstruction(t *testing.T) {
+	g := Figure1()
+	tr := &Tree{}
+	sc := NewScratch(g.N())
+	x, _ := g.ByName("X")
+	z, _ := g.ByName("Z")
+	if err := g.SSSP(tr, sc, x, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprint(Path{x, 3, 2, z}) // X-D-C-Z, the paper's quoted LCP
+	if got := fmt.Sprint(tr.PathTo(z)); got != want {
+		t.Fatalf("PathTo(Z) = %s, want %s", got, want)
+	}
+	if tr.Dist[z] != 2 {
+		t.Fatalf("Dist[Z] = %d, want 2", tr.Dist[z])
+	}
+	if tr.Hops[z] != 3 {
+		t.Fatalf("Hops[Z] = %d, want 3", tr.Hops[z])
+	}
+	// AppendPathTo reuses the buffer without reallocating when capacity
+	// suffices.
+	buf := make(Path, 0, 8)
+	out := tr.AppendPathTo(buf, z)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("AppendPathTo reallocated despite sufficient capacity")
+	}
+}
+
+// TestShortestPathsIgnoresOutOfRangeAvoid pins the map-form contract:
+// avoid entries that name no node are ignored, as the original
+// map-lookup implementation did.
+func TestShortestPathsIgnoresOutOfRangeAvoid(t *testing.T) {
+	g := Figure1()
+	avoid := map[NodeID]bool{NodeID(-1): true, NodeID(99): true}
+	wantD, wantP, err := g.ShortestPaths(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotD, gotP, err := g.ShortestPaths(0, avoid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range wantD {
+		if wantD[j] != gotD[j] || !wantP[j].Equal(gotP[j]) {
+			t.Fatalf("dst %d: bogus avoid entries changed the result", j)
+		}
+	}
+}
+
+func TestNodeSet(t *testing.T) {
+	s := NewNodeSet(10)
+	if s.Has(3) {
+		t.Fatal("empty set has 3")
+	}
+	s.Add(3)
+	s.Add(70) // forces growth
+	if !s.Has(3) || !s.Has(70) || s.Has(4) {
+		t.Fatal("membership wrong after Add")
+	}
+	s.Remove(3)
+	if s.Has(3) || !s.Has(70) {
+		t.Fatal("membership wrong after Remove")
+	}
+	s.Clear()
+	if s.Has(70) {
+		t.Fatal("membership wrong after Clear")
+	}
+	var nilSet *NodeSet
+	if nilSet.Has(0) {
+		t.Fatal("nil set claims membership")
+	}
+}

@@ -243,15 +243,15 @@ func TestDiameter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d := ring.Diameter(); d < 2 || d > 5 {
-		t.Errorf("ring-6 diameter = %d, want within [2,5]", d)
+	if d, err := ring.Diameter(); err != nil || d < 2 || d > 5 {
+		t.Errorf("ring-6 diameter = %d (%v), want within [2,5]", d, err)
 	}
 	cl, err := Clique([]Cost{1, 1, 1, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d := cl.Diameter(); d != 1 {
-		t.Errorf("clique diameter = %d, want 1", d)
+	if d, err := cl.Diameter(); err != nil || d != 1 {
+		t.Errorf("clique diameter = %d (%v), want 1", d, err)
 	}
 }
 
