@@ -32,10 +32,14 @@ type Result struct {
 	AllocsOp int64   `json:"allocs_per_op,omitempty"`
 }
 
-// benchLine matches e.g.
+// benchLine matches the fixed prefix of a benchmark result line, e.g.
 //
 //	BenchmarkAllPairs/n=64-8   100   633407 ns/op   302692 B/op   4162 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+//
+// Everything after ns/op is a sequence of "<value> <unit>" pairs —
+// B/op, allocs/op, and any custom b.ReportMetric units (e.g. "plays",
+// "deliveries/op") — parsed by unit so metric order never matters.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
 
 func main() {
 	compare := flag.String("compare", "", "old.json to diff against; requires new.json as the positional arg")
@@ -82,11 +86,14 @@ func parse(r io.Reader) ([]Result, error) {
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
 		res := Result{Name: name, Iters: iters, NsPerOp: ns}
-		if m[4] != "" {
-			res.BytesOp, _ = strconv.ParseInt(m[4], 10, 64)
-		}
-		if m[5] != "" {
-			res.AllocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		rest := strings.Fields(m[4])
+		for i := 0; i+1 < len(rest); i += 2 {
+			switch rest[i+1] {
+			case "B/op":
+				res.BytesOp, _ = strconv.ParseInt(rest[i], 10, 64)
+			case "allocs/op":
+				res.AllocsOp, _ = strconv.ParseInt(rest[i], 10, 64)
+			}
 		}
 		out = append(out, res)
 	}

@@ -16,6 +16,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkSSSP32-8   	     100	      1583 ns/op	       5 B/op	       0 allocs/op
 BenchmarkAllPairs/n=64-8         	     100	    633407 ns/op	  302692 B/op	    4162 allocs/op
 BenchmarkNoMem-8   	     200	      77.5 ns/op
+BenchmarkMetric/w=8-8  	       2	 372085479 ns/op	        96.00 plays	403558104 B/op	 3977178 allocs/op
 PASS
 ok  	repro/internal/graph	0.398s
 `
@@ -25,8 +26,8 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res) != 3 {
-		t.Fatalf("parsed %d results, want 3", len(res))
+	if len(res) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(res))
 	}
 	if res[0].Name != "BenchmarkSSSP32" || res[0].AllocsOp != 0 || res[0].BytesOp != 5 {
 		t.Errorf("first result = %+v", res[0])
@@ -36,6 +37,11 @@ func TestParse(t *testing.T) {
 	}
 	if res[2].Name != "BenchmarkNoMem" || res[2].NsPerOp != 77.5 {
 		t.Errorf("third result = %+v", res[2])
+	}
+	// Custom b.ReportMetric columns (here "plays") must not hide the
+	// B/op and allocs/op that follow them.
+	if res[3].Name != "BenchmarkMetric/w=8" || res[3].BytesOp != 403558104 || res[3].AllocsOp != 3977178 {
+		t.Errorf("fourth result = %+v", res[3])
 	}
 }
 
@@ -48,7 +54,7 @@ func TestRunJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(out.Bytes(), &list); err != nil {
 		t.Fatalf("output is not JSON: %v", err)
 	}
-	if len(list) != 3 || list[1].Iters != 100 {
+	if len(list) != 4 || list[1].Iters != 100 {
 		t.Fatalf("round trip lost data: %+v", list)
 	}
 }

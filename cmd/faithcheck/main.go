@@ -6,6 +6,8 @@
 //
 //	faithcheck                     # Figure 1
 //	faithcheck -n 6 -seed 3        # random biconnected scenario
+//	faithcheck -workers 8          # parallel deviation search
+//	faithcheck -first-violation    # stop at the first profitable deviation
 package main
 
 import (
@@ -30,8 +32,17 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("faithcheck", flag.ContinueOnError)
 	n := fs.Int("n", 0, "random scenario size (0 = Figure 1)")
 	seed := fs.Int64("seed", 1, "rng seed for random scenarios")
+	workers := fs.Int("workers", 0, "deviation-search pool size (0 = NumCPU, 1 = sequential oracle)")
+	first := fs.Bool("first-violation", false, "stop at the first profitable deviation in catalogue order")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var opts []core.CheckOption
+	if *workers != 1 {
+		opts = append(opts, core.Workers(*workers))
+	}
+	if *first {
+		opts = append(opts, core.EarlyStop())
 	}
 	var g *graph.Graph
 	var err error
@@ -47,13 +58,13 @@ func run(args []string) error {
 	}
 	params := rational.DefaultParams(g)
 
-	plain, err := core.CheckFaithfulness(&rational.PlainSystem{Graph: g, Params: params})
+	plain, err := core.CheckFaithfulness(&rational.PlainSystem{Graph: g, Params: params}, opts...)
 	if err != nil {
 		return err
 	}
 	report("plain FPSS", plain)
 
-	faithfulRep, err := core.CheckFaithfulness(&rational.FaithfulSystem{Graph: g, Params: params})
+	faithfulRep, err := core.CheckFaithfulness(&rational.FaithfulSystem{Graph: g, Params: params}, opts...)
 	if err != nil {
 		return err
 	}

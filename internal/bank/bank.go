@@ -69,17 +69,14 @@ type Bank struct {
 }
 
 // New creates a bank for the given neighborhood structure, verifying
-// node reports against the supplied signing authority.
+// node reports against the supplied signing authority. The neighbors
+// map is retained as a shared read-only view — deviation searches
+// build one per scenario and hand it to every run's bank — so the
+// caller must not mutate it for the bank's lifetime.
 func New(authority *sign.Authority, neighbors map[graph.NodeID][]graph.NodeID) *Bank {
-	ns := make(map[graph.NodeID][]graph.NodeID, len(neighbors))
-	for k, v := range neighbors {
-		c := make([]graph.NodeID, len(v))
-		copy(c, v)
-		ns[k] = c
-	}
 	return &Bank{
 		authority: authority,
-		neighbors: ns,
+		neighbors: neighbors,
 		reports:   make(map[graph.NodeID]StateReport),
 	}
 }

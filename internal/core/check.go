@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/spec"
+)
+
+// CheckOption configures CheckFaithfulness.
+type CheckOption func(*checkConfig)
+
+type checkConfig struct {
+	workers   int
+	earlyStop bool
+}
+
+// Workers sets the worker-pool size for the deviation search. k <= 0
+// means runtime.NumCPU(). The default (option absent) is 1: a purely
+// sequential search, safe for any System. With k > 1 the System's Run
+// method must be safe for concurrent calls — the rational package's
+// systems are.
+func Workers(k int) CheckOption {
+	return func(c *checkConfig) {
+		if k <= 0 {
+			k = runtime.NumCPU()
+		}
+		c.workers = k
+	}
+}
+
+// EarlyStop makes the search return at the first profitable deviation
+// in catalogue order — (node, deviation) pairs enumerated as the
+// sequential loop would visit them. The Report then carries exactly
+// that one violation, and Checked counts the plays a sequential search
+// would have executed (the violation's 1-based position). Useful when
+// the caller only needs a faithful/not-faithful verdict.
+func EarlyStop() CheckOption {
+	return func(c *checkConfig) { c.earlyStop = true }
+}
+
+func applyOptions(opts []CheckOption) checkConfig {
+	cfg := checkConfig{workers: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// play is one (node, deviation) pair in catalogue order.
+type play struct {
+	node NodeID
+	base int64
+	dev  Deviation
+}
+
+// playResult is the outcome of one play, recorded by job index so the
+// engine's output is independent of worker scheduling.
+type playResult struct {
+	violation *Violation
+	err       error
+}
+
+// check is the deviation-search engine behind CheckFaithfulness.
+//
+// Determinism invariant: the Report (and any error) depends only on
+// the System, never on the worker count or scheduling. Every job
+// writes its result into its own catalogue-order slot; violations are
+// collected in slot order and errors are reported for the earliest
+// failing slot — exactly what the sequential loop would have produced.
+// A parallel early-stopped search may *execute* more plays than the
+// sequential one, but it reports the same ones.
+func check(sys System, cfg checkConfig) (Report, error) {
+	baseline, err := sys.Run(-1, nil)
+	if err != nil {
+		return Report{}, fmt.Errorf("%w: %v", ErrNoBaseline, err)
+	}
+
+	// Enumerate the catalogue up front (sequentially — Deviations need
+	// not be concurrency-safe). The baseline must price every node
+	// before any deviant play runs.
+	var plays []play
+	for _, node := range sys.Nodes() {
+		base, ok := baseline.Utilities[node]
+		if !ok {
+			return Report{}, fmt.Errorf("core: baseline missing utility for node %d", node)
+		}
+		for _, dev := range sys.Deviations(node) {
+			plays = append(plays, play{node: node, base: base, dev: dev})
+		}
+	}
+
+	workers := cfg.workers
+	if workers > len(plays) {
+		workers = len(plays)
+	}
+
+	// ends reports whether a play's result terminates the search: any
+	// error does (the fold returns the earliest error, discarding the
+	// report), and a violation does under early stop.
+	ends := func(r playResult) bool {
+		return r.err != nil || (cfg.earlyStop && r.violation != nil)
+	}
+
+	results := make([]playResult, len(plays))
+	if workers <= 1 {
+		for i := range plays {
+			results[i] = runPlay(sys, plays[i])
+			if ends(results[i]) {
+				break
+			}
+		}
+	} else {
+		// stop is the lowest catalogue index known to end the search.
+		// Workers skip jobs beyond it; lowering it is a best-effort
+		// cancellation, so the value never influences the Report —
+		// only how much wasted work the pool avoids. Every play below
+		// the final minimum still runs, which is all the fold reads.
+		stop := len(plays)
+		var mu sync.Mutex
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					mu.Lock()
+					skip := i > stop
+					mu.Unlock()
+					if skip {
+						continue
+					}
+					r := runPlay(sys, plays[i])
+					results[i] = r
+					if ends(r) {
+						mu.Lock()
+						if i < stop {
+							stop = i
+						}
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		for i := range plays {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	// Fold results in catalogue order.
+	rep := Report{}
+	for i := range results {
+		if err := results[i].err; err != nil {
+			return Report{}, err
+		}
+		if !cfg.earlyStop {
+			if v := results[i].violation; v != nil {
+				rep.Violations = append(rep.Violations, *v)
+			}
+			continue
+		}
+		if v := results[i].violation; v != nil {
+			rep.Checked = i + 1
+			rep.Violations = []Violation{*v}
+			sortViolations(rep.Violations)
+			return rep, nil
+		}
+	}
+	rep.Checked = len(plays)
+	sortViolations(rep.Violations)
+	return rep, nil
+}
+
+// runPlay executes one deviant play and classifies the outcome. The
+// deviation's Classes slice is copied only when a violation is
+// recorded — Classes may return a shared slice (see
+// BasicDeviation.Classes).
+func runPlay(sys System, p play) playResult {
+	out, err := sys.Run(p.node, p.dev)
+	if err != nil {
+		return playResult{err: fmt.Errorf("core: run node %d deviation %q: %w", p.node, p.dev.Name(), err)}
+	}
+	got, ok := out.Utilities[p.node]
+	if !ok {
+		return playResult{err: fmt.Errorf("core: deviant run missing utility for node %d", p.node)}
+	}
+	if got <= p.base {
+		return playResult{}
+	}
+	return playResult{violation: &Violation{
+		Node:      p.node,
+		Deviation: p.dev.Name(),
+		Classes:   append([]spec.ActionKind(nil), p.dev.Classes()...),
+		Baseline:  p.base,
+		Deviant:   got,
+	}}
+}

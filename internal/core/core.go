@@ -142,45 +142,26 @@ var ErrNoBaseline = errors.New("core: baseline run failed")
 // The check certifies ex post Nash *for this type profile*; callers
 // quantify over profiles by invoking it across many sampled Systems
 // (the deviation search of experiment E6).
-func CheckFaithfulness(sys System) (Report, error) {
-	baseline, err := sys.Run(-1, nil)
-	if err != nil {
-		return Report{}, fmt.Errorf("%w: %v", ErrNoBaseline, err)
-	}
-	var rep Report
-	for _, node := range sys.Nodes() {
-		base, ok := baseline.Utilities[node]
-		if !ok {
-			return Report{}, fmt.Errorf("core: baseline missing utility for node %d", node)
+//
+// With no options the search is sequential — the reference oracle.
+// Workers(k) fans the (node, deviation) runs over a pool (the System
+// must then tolerate concurrent Run calls); EarlyStop() returns at the
+// first profitable deviation in catalogue order. The Report is
+// byte-identical for every worker count: see check.go for how the
+// engine keeps scheduling out of the output.
+func CheckFaithfulness(sys System, opts ...CheckOption) (Report, error) {
+	return check(sys, applyOptions(opts))
+}
+
+// sortViolations orders violations canonically: by node, then by
+// deviation name.
+func sortViolations(vs []Violation) {
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Node != vs[j].Node {
+			return vs[i].Node < vs[j].Node
 		}
-		for _, dev := range sys.Deviations(node) {
-			rep.Checked++
-			out, err := sys.Run(node, dev)
-			if err != nil {
-				return Report{}, fmt.Errorf("core: run node %d deviation %q: %w", node, dev.Name(), err)
-			}
-			got, ok := out.Utilities[node]
-			if !ok {
-				return Report{}, fmt.Errorf("core: deviant run missing utility for node %d", node)
-			}
-			if got > base {
-				rep.Violations = append(rep.Violations, Violation{
-					Node:      node,
-					Deviation: dev.Name(),
-					Classes:   dev.Classes(),
-					Baseline:  base,
-					Deviant:   got,
-				})
-			}
-		}
-	}
-	sort.Slice(rep.Violations, func(i, j int) bool {
-		if rep.Violations[i].Node != rep.Violations[j].Node {
-			return rep.Violations[i].Node < rep.Violations[j].Node
-		}
-		return rep.Violations[i].Deviation < rep.Violations[j].Deviation
+		return vs[i].Deviation < vs[j].Deviation
 	})
-	return rep, nil
 }
 
 // BasicDeviation is a ready-made Deviation implementation.
@@ -194,9 +175,8 @@ var _ Deviation = BasicDeviation{}
 // Name implements Deviation.
 func (d BasicDeviation) Name() string { return d.DevName }
 
-// Classes implements Deviation.
-func (d BasicDeviation) Classes() []spec.ActionKind {
-	out := make([]spec.ActionKind, len(d.DevClasses))
-	copy(out, d.DevClasses)
-	return out
-}
+// Classes implements Deviation. The returned slice is shared — the
+// check loop calls Classes on every play, and a defensive copy per
+// call is pure garbage; CheckFaithfulness copies it only when it
+// records a Violation. Callers must treat the result as read-only.
+func (d BasicDeviation) Classes() []spec.ActionKind { return d.DevClasses }

@@ -175,15 +175,29 @@ func TestViolationsSorted(t *testing.T) {
 	}
 }
 
-func TestBasicDeviationCopiesClasses(t *testing.T) {
-	d := BasicDeviation{DevName: "x", DevClasses: []spec.ActionKind{spec.Computation}}
-	cs := d.Classes()
-	cs[0] = spec.InfoRevelation
-	if d.Classes()[0] != spec.Computation {
-		t.Error("Classes returned aliased slice")
-	}
+func TestViolationClassesIsolatedFromDeviation(t *testing.T) {
+	// Classes() intentionally returns a shared read-only slice (no
+	// defensive copy in the hot loop); the copy happens exactly once,
+	// when a Violation is recorded. Mutating the deviation's backing
+	// slice afterwards must not reach the recorded violation.
+	backing := []spec.ActionKind{spec.Computation}
+	d := BasicDeviation{DevName: "x", DevClasses: backing}
 	if d.Name() != "x" {
 		t.Error("Name wrong")
+	}
+	f := newFake()
+	f.devs[0] = append(f.devs[0], d)
+	f.gain[0]["x"] = 5
+	rep, err := CheckFaithfulness(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 1 {
+		t.Fatalf("violations = %v", rep.Violations)
+	}
+	backing[0] = spec.InfoRevelation
+	if rep.Violations[0].Classes[0] != spec.Computation {
+		t.Error("recorded violation aliases the deviation's class slice")
 	}
 }
 

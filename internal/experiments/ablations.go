@@ -35,20 +35,33 @@ func E11CheckerAblation(p Params) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		plays, caught, profitable := 0, 0, 0
-		for _, dev := range sys.Deviations(0) {
-			for _, node := range sys.Nodes() {
-				out, err := sys.Run(node, dev)
-				if err != nil {
-					return nil, err
-				}
-				plays++
-				if !out.Completed || len(out.Detected) > 0 || out.Utilities[node] <= base.Utilities[node] {
-					caught++
-				}
-				if out.Utilities[node] > base.Utilities[node] {
-					profitable++
-				}
+		// Fan the (deviation, node) plays over the worker pool; the
+		// fold below only counts, so index order is irrelevant — but
+		// parallelMap returns slots in catalogue order anyway.
+		devs := sys.Deviations(0)
+		nodes := sys.Nodes()
+		type playStat struct{ caught, profitable bool }
+		stats, err := parallelMap(len(devs)*len(nodes), 0, func(i int) (playStat, error) {
+			out, err := sys.Run(nodes[i%len(nodes)], devs[i/len(nodes)])
+			if err != nil {
+				return playStat{}, err
+			}
+			node := nodes[i%len(nodes)]
+			return playStat{
+				caught:     !out.Completed || len(out.Detected) > 0 || out.Utilities[node] <= base.Utilities[node],
+				profitable: out.Utilities[node] > base.Utilities[node],
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		plays, caught, profitable := len(stats), 0, 0
+		for _, s := range stats {
+			if s.caught {
+				caught++
+			}
+			if s.profitable {
+				profitable++
 			}
 		}
 		label := "all neighbors"
@@ -128,37 +141,65 @@ func E13DamageContainment(p Params) (*Table, error) {
 		PaperClaim: "rational-manipulation defenses bound self-interested harm; anti-social/malicious behavior is outside the model (§5)",
 		Headers:    []string{"deviation", "worst victim loss (plain)", "worst victim loss (faithful, completed)", "faithful blocked runs"},
 	}
-	for _, dev := range plainSys.Deviations(0) {
+	// Each job plays one deviation at one node against *both*
+	// protocols; the per-deviation fold (max over victims, blocked
+	// count) is order-independent, so the fan-out stays deterministic.
+	devs := plainSys.Deviations(0)
+	nodes := plainSys.Nodes()
+	type damage struct {
+		plainLoss, faithLoss int64
+		blocked              bool
+	}
+	results, err := parallelMap(len(devs)*len(nodes), 0, func(i int) (damage, error) {
+		dev, node := devs[i/len(nodes)], nodes[i%len(nodes)]
+		var d damage
+		pOut, err := plainSys.Run(node, dev)
+		if err != nil {
+			return d, err
+		}
+		for victim, u := range pOut.Utilities {
+			if victim == node {
+				continue
+			}
+			if loss := plainBase.Utilities[victim] - u; loss > d.plainLoss {
+				d.plainLoss = loss
+			}
+		}
+		fOut, err := faithSys.Run(node, dev)
+		if err != nil {
+			return d, err
+		}
+		if !fOut.Completed {
+			d.blocked = true
+			return d, nil
+		}
+		for victim, u := range fOut.Utilities {
+			if victim == node {
+				continue
+			}
+			if loss := faithBase.Utilities[victim] - u; loss > d.faithLoss {
+				d.faithLoss = loss
+			}
+		}
+		return d, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, dev := range devs {
 		worstPlain, worstFaith := int64(0), int64(0)
 		blocked := 0
-		for _, node := range plainSys.Nodes() {
-			pOut, err := plainSys.Run(node, dev)
-			if err != nil {
-				return nil, err
+		for ni := range nodes {
+			d := results[di*len(nodes)+ni]
+			if d.plainLoss > worstPlain {
+				worstPlain = d.plainLoss
 			}
-			for victim, u := range pOut.Utilities {
-				if victim == node {
-					continue
-				}
-				if loss := plainBase.Utilities[victim] - u; loss > worstPlain {
-					worstPlain = loss
-				}
-			}
-			fOut, err := faithSys.Run(node, dev)
-			if err != nil {
-				return nil, err
-			}
-			if !fOut.Completed {
+			if d.blocked {
 				blocked++
 				continue
 			}
-			for victim, u := range fOut.Utilities {
-				if victim == node {
-					continue
-				}
-				if loss := faithBase.Utilities[victim] - u; loss > worstFaith {
-					worstFaith = loss
-				}
+			if d.faithLoss > worstFaith {
+				worstFaith = d.faithLoss
 			}
 		}
 		t.Rows = append(t.Rows, []string{

@@ -171,20 +171,36 @@ func E3Detection(p Params) (*Table, error) {
 		PaperClaim: "every drop/change/spoof/miscompute deviation is caught; no false positives",
 		Headers:    []string{"deviation", "classes", "runs", "caught or neutralized", "profitable anywhere"},
 	}
-	for _, devIface := range sys.Deviations(0) {
-		runs, caught, profitable := 0, 0, 0
-		for _, node := range sys.Nodes() {
-			out, err := sys.Run(node, devIface)
-			if err != nil {
-				return nil, err
-			}
-			runs++
-			// A deviation is caught (detected / blocked) or neutralized
-			// (outcome identical to honest for the deviator).
-			if !out.Completed || len(out.Detected) > 0 || out.Utilities[node] <= base.Utilities[node] {
+	// Fan the (deviation, node) plays over the worker pool — the same
+	// grid core.CheckFaithfulness parallelizes — and fold the
+	// detection stats back in catalogue order.
+	devs := sys.Deviations(0)
+	nodes := sys.Nodes()
+	type playStat struct{ caught, profitable bool }
+	stats, err := parallelMap(len(devs)*len(nodes), 0, func(i int) (playStat, error) {
+		dev, node := devs[i/len(nodes)], nodes[i%len(nodes)]
+		out, err := sys.Run(node, dev)
+		if err != nil {
+			return playStat{}, err
+		}
+		// A deviation is caught (detected / blocked) or neutralized
+		// (outcome identical to honest for the deviator).
+		return playStat{
+			caught:     !out.Completed || len(out.Detected) > 0 || out.Utilities[node] <= base.Utilities[node],
+			profitable: out.Utilities[node] > base.Utilities[node],
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for d, devIface := range devs {
+		runs, caught, profitable := len(nodes), 0, 0
+		for ni := range nodes {
+			s := stats[d*len(nodes)+ni]
+			if s.caught {
 				caught++
 			}
-			if out.Utilities[node] > base.Utilities[node] {
+			if s.profitable {
 				profitable++
 			}
 		}
@@ -313,11 +329,14 @@ func E6Faithfulness(p Params) (*Table, error) {
 			}
 		}
 		params := rationalParams(g, p)
-		plainRep, err := core.CheckFaithfulness(&rational.PlainSystem{Graph: g, Params: params})
+		// The rational systems tolerate concurrent Run calls, so the
+		// deviation search fans over the NumCPU pool; the report is
+		// byte-identical to the sequential oracle for any worker count.
+		plainRep, err := core.CheckFaithfulness(&rational.PlainSystem{Graph: g, Params: params}, core.Workers(0))
 		if err != nil {
 			return nil, err
 		}
-		faithRep, err := core.CheckFaithfulness(&rational.FaithfulSystem{Graph: g, Params: params})
+		faithRep, err := core.CheckFaithfulness(&rational.FaithfulSystem{Graph: g, Params: params}, core.Workers(0))
 		if err != nil {
 			return nil, err
 		}

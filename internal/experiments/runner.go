@@ -21,18 +21,34 @@ type Runner struct {
 // error of the earliest failing experiment (again independent of
 // scheduling), wrapped with its ID.
 func (r Runner) Run(exps []Experiment) ([]*Table, error) {
-	workers := r.Workers
+	return parallelMap(len(exps), r.Workers, func(i int) (*Table, error) {
+		t, err := exps[i].Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", exps[i].ID, err)
+		}
+		return t, nil
+	})
+}
+
+// parallelMap runs fn(i) for every i in [0, n) over a worker pool
+// (workers <= 0 means runtime.NumCPU()) and returns the results in
+// index order. Every job writes only its own slot and the earliest
+// failing index's error is reported, so output is independent of
+// scheduling. It is the one worker-pool implementation behind both
+// Runner.Run and the deviation-sweep experiments (E3/E11/E13), which
+// fan their (node, deviation) plays through it.
+func parallelMap[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > len(exps) {
-		workers = len(exps)
+	if workers > n {
+		workers = n
 	}
-	tables := make([]*Table, len(exps))
-	errs := make([]error, len(exps))
 	if workers <= 1 {
-		for i, e := range exps {
-			tables[i], errs[i] = e.Run()
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = fn(i)
 		}
 	} else {
 		jobs := make(chan int)
@@ -42,22 +58,22 @@ func (r Runner) Run(exps []Experiment) ([]*Table, error) {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					tables[i], errs[i] = exps[i].Run()
+					out[i], errs[i] = fn(i)
 				}
 			}()
 		}
-		for i := range exps {
+		for i := 0; i < n; i++ {
 			jobs <- i
 		}
 		close(jobs)
 		wg.Wait()
 	}
-	for i, err := range errs {
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", exps[i].ID, err)
+			return nil, err
 		}
 	}
-	return tables, nil
+	return out, nil
 }
 
 // RunIDs resolves a regular expression against the registry and runs

@@ -165,30 +165,21 @@ func (n *Node) advertBudget() int {
 var _ sim.Handler = (*Node)(nil)
 
 // NewNode constructs a faithful-protocol node. checkersOf may be nil,
-// meaning the full assignment (every neighbor checks).
+// meaning the full assignment (every neighbor checks). Both maps (and
+// their slices) are retained as shared read-only views — a deviation
+// search builds them once per scenario and hands the same maps to
+// every node of every run, so the node must never mutate them and the
+// caller must not change them while any node is live.
 func NewNode(id graph.NodeID, trueCost graph.Cost, neighborsOf, checkersOf map[graph.NodeID][]graph.NodeID, strategy *Strategy, signer *sign.Signer) *Node {
-	nbrs := make([]graph.NodeID, len(neighborsOf[id]))
-	copy(nbrs, neighborsOf[id])
-	nOf := make(map[graph.NodeID][]graph.NodeID, len(neighborsOf))
-	for k, v := range neighborsOf {
-		c := make([]graph.NodeID, len(v))
-		copy(c, v)
-		nOf[k] = c
-	}
-	cOf := nOf
-	if checkersOf != nil {
-		cOf = make(map[graph.NodeID][]graph.NodeID, len(checkersOf))
-		for k, v := range checkersOf {
-			c := make([]graph.NodeID, len(v))
-			copy(c, v)
-			cOf[k] = c
-		}
+	cOf := checkersOf
+	if cOf == nil {
+		cOf = neighborsOf
 	}
 	return &Node{
 		id:          id,
 		trueCost:    trueCost,
-		neighbors:   nbrs,
-		neighborsOf: nOf,
+		neighbors:   neighborsOf[id],
+		neighborsOf: neighborsOf,
 		checkersOf:  cOf,
 		strategy:    strategy,
 		signer:      signer,
@@ -207,6 +198,13 @@ func (n *Node) Routing() fpss.RoutingTable { return n.routing.Clone() }
 
 // Pricing returns the node's DATA3*.
 func (n *Node) Pricing() fpss.PricingTable { return n.pricing.Clone() }
+
+// RoutingView returns the node's DATA2 without cloning — read-only,
+// valid once the network is quiescent (see fpss.Node.RoutingView).
+func (n *Node) RoutingView() fpss.RoutingTable { return n.routing }
+
+// PricingView returns the node's DATA3* without cloning (read-only).
+func (n *Node) PricingView() fpss.PricingTable { return n.pricing }
 
 // Costs returns the node's DATA1.
 func (n *Node) Costs() fpss.CostTable { return n.costs.Clone() }
@@ -402,18 +400,27 @@ func (n *Node) recompute(ctx sim.Context, force bool) {
 	}
 	n.adverts++
 	base := fpss.Update{From: n.id, Routing: n.routing, Pricing: n.pricing}
+	honest := s == nil || s.SendUpdate == nil
 	for _, v := range n.neighbors {
-		u, ok := base.Clone(), true
-		if s != nil && s.SendUpdate != nil {
-			u, ok = s.SendUpdate(v, u)
-		}
-		if !ok {
-			continue
+		u := base
+		if !honest {
+			// Deviant path: the hook may mutate its copy per neighbor.
+			var ok bool
+			u, ok = s.SendUpdate(v, base.Clone())
+			if !ok {
+				continue
+			}
 		}
 		// Record ground truth of this channel and apply it to the
 		// mirror this node keeps of neighbor v (checkers apply their
-		// own sends directly; the principal cannot drop them).
-		n.lastSent[v] = u.Clone()
+		// own sends directly; the principal cannot drop them). On the
+		// honest path the tables are immutable once advertised, so the
+		// record can share them.
+		if honest {
+			n.lastSent[v] = u
+		} else {
+			n.lastSent[v] = u.Clone()
+		}
 		if m, ok := n.mirrors[v]; ok {
 			m.views[n.id] = fpss.NeighborView{Routing: u.Routing, Pricing: u.Pricing}
 			m.recompute(n.costs)

@@ -36,6 +36,39 @@ type Config struct {
 	// its checkers (0 = all, the paper's assignment). Used only by the
 	// E11 ablation: smaller assignments open detection escapes.
 	CheckerLimit int
+	// Neighbors / Checkers optionally supply the per-node adjacency
+	// and checker assignment. A deviation search plays hundreds of
+	// runs on one scenario; the truthful topology views are identical
+	// for every deviator, so callers precompute them once (see
+	// Topology) and thread the same read-only maps into each run. When
+	// nil, Run derives them from Graph and CheckerLimit. Both are
+	// retained read-only by the protocol nodes.
+	Neighbors map[graph.NodeID][]graph.NodeID
+	Checkers  map[graph.NodeID][]graph.NodeID
+	// Flows optionally fixes the execution-phase flow order
+	// (precomputed Traffic.Flows()); nil derives it from Traffic.
+	Flows [][2]graph.NodeID
+}
+
+// Topology builds the per-node adjacency and checker-assignment views
+// for a graph: every neighbor of a node checks it, truncated to
+// checkerLimit when positive (ablation E11). The maps share the
+// graph's CSR rows and are meant to be computed once per scenario and
+// passed read-only through Config.Neighbors/Config.Checkers.
+func Topology(g *graph.Graph, checkerLimit int) (neighbors, checkers map[graph.NodeID][]graph.NodeID) {
+	n := g.N()
+	neighbors = make(map[graph.NodeID][]graph.NodeID, n)
+	checkers = make(map[graph.NodeID][]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		id := graph.NodeID(i)
+		neighbors[id] = g.AdjView(id)
+		cs := neighbors[id]
+		if checkerLimit > 0 && checkerLimit < len(cs) {
+			cs = cs[:checkerLimit]
+		}
+		checkers[id] = cs
+	}
+	return neighbors, checkers
 }
 
 // Result is the outcome of a faithful-protocol run.
@@ -98,23 +131,25 @@ func Run(cfg Config) (*Result, error) {
 	}
 	n := cfg.Graph.N()
 
-	neighborsOf := make(map[graph.NodeID][]graph.NodeID, n)
-	checkersOf := make(map[graph.NodeID][]graph.NodeID, n)
-	for i := 0; i < n; i++ {
-		id := graph.NodeID(i)
-		// Read-only views into the graph's shared CSR adjacency; Node
-		// constructors copy what they keep.
-		neighborsOf[id] = cfg.Graph.AdjView(id)
-		checkers := neighborsOf[id]
-		if cfg.CheckerLimit > 0 && cfg.CheckerLimit < len(checkers) {
-			checkers = checkers[:cfg.CheckerLimit]
+	neighborsOf, checkersOf := cfg.Neighbors, cfg.Checkers
+	if neighborsOf == nil {
+		neighborsOf, checkersOf = Topology(cfg.Graph, cfg.CheckerLimit)
+	} else if checkersOf == nil {
+		// Derive the assignment from the supplied adjacency, honoring
+		// CheckerLimit exactly as Topology does.
+		checkersOf = make(map[graph.NodeID][]graph.NodeID, len(neighborsOf))
+		for id, ns := range neighborsOf {
+			if cfg.CheckerLimit > 0 && cfg.CheckerLimit < len(ns) {
+				ns = ns[:cfg.CheckerLimit]
+			}
+			checkersOf[id] = ns
 		}
-		checkersOf[id] = checkers
 	}
 
 	authority := sign.NewAuthority()
 	theBank := bank.New(authority, checkersOf)
-	net := sim.NewNetwork()
+	net := sim.AcquireNetwork()
+	defer net.Release()
 	if err := net.Attach(fpss.BankAddr, &bankHandler{bank: theBank}); err != nil {
 		return nil, err
 	}
@@ -186,8 +221,10 @@ func Run(cfg Config) (*Result, error) {
 	trueCosts := make(fpss.CostTable, n)
 	reportHooks := make(map[graph.NodeID]func(fpss.PaymentList) fpss.PaymentList)
 	for id, node := range nodes {
-		routing[id] = node.Routing()
-		pricing[id] = node.Pricing()
+		// Converged-table views: the network is quiescent and Execute
+		// never mutates its inputs, so cloning here is pure garbage.
+		routing[id] = node.RoutingView()
+		pricing[id] = node.PricingView()
 		declared[id] = node.DeclaredCost()
 		trueCosts[id] = cfg.Graph.Cost(id)
 		if s := cfg.Strategies[id]; s != nil && s.ReportPayment != nil {
@@ -198,6 +235,7 @@ func Run(cfg Config) (*Result, error) {
 		TrueCosts:          trueCosts,
 		DeclaredCosts:      declared,
 		Traffic:            cfg.Traffic,
+		Flows:              cfg.Flows,
 		DeliveryValue:      cfg.DeliveryValue,
 		UndeliveredPenalty: cfg.UndeliveredPenalty,
 		Scheme:             fpss.SchemeVCG,

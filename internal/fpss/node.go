@@ -177,6 +177,16 @@ func (n *Node) Routing() RoutingTable { return n.routing.Clone() }
 // Pricing returns the node's DATA3*.
 func (n *Node) Pricing() PricingTable { return n.pricing.Clone() }
 
+// RoutingView returns the node's DATA2 without cloning. Only valid
+// once the network is quiescent, and read-only: the deviation-search
+// hot path assembles execution-phase inputs from converged tables,
+// where a defensive clone per node per run is pure garbage.
+func (n *Node) RoutingView() RoutingTable { return n.routing }
+
+// PricingView returns the node's DATA3* without cloning (see
+// RoutingView for the contract).
+func (n *Node) PricingView() PricingTable { return n.pricing }
+
 // DeclaredCost returns the cost this node announces (possibly a lie).
 func (n *Node) DeclaredCost() graph.Cost { return n.strategy.declareCost(n.trueCost) }
 
@@ -252,7 +262,17 @@ func (n *Node) recompute(ctx sim.Context, force bool) {
 	}
 	n.adverts++
 	base := Update{From: n.id, Routing: n.routing, Pricing: n.pricing}
+	if n.strategy == nil || n.strategy.SendUpdate == nil {
+		// Honest path: recompute always replaces (never mutates) the
+		// tables, so every neighbor can share one advertisement —
+		// deep-cloning per neighbor was most of the protocol's garbage.
+		for _, v := range n.neighbors {
+			ctx.Send(sim.Addr(v), base)
+		}
+		return
+	}
 	for _, v := range n.neighbors {
+		// Deviant path: the hook may mutate its copy per neighbor.
 		u, ok := n.strategy.sendUpdate(v, base.Clone())
 		if !ok {
 			continue

@@ -45,7 +45,11 @@ func Run(cfg Config) (*Result, error) {
 	if maxSteps == 0 {
 		maxSteps = 1 << 20
 	}
-	net := sim.NewNetwork()
+	// A pooled network: deviation searches call Run once per
+	// (node, deviation) play, and recycling the handler tables and
+	// event-queue storage keeps that loop off the allocator.
+	net := sim.AcquireNetwork()
+	defer net.Release()
 	nodes := make(map[graph.NodeID]*Node, cfg.Graph.N())
 	for i := 0; i < cfg.Graph.N(); i++ {
 		id := graph.NodeID(i)

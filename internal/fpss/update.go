@@ -42,11 +42,19 @@ func ComputeRouting(self graph.NodeID, neighbors []graph.NodeID, costs CostTable
 	}
 	out := make(RoutingTable, len(dests))
 	for j := range dests {
-		var best *RouteEntry
+		var (
+			bestCost graph.Cost
+			bestBase graph.Path
+			found    bool
+		)
+		direct := [1]graph.NodeID{j}
 		for _, v := range neighbors {
-			var cand RouteEntry
+			var (
+				candCost graph.Cost
+				candBase graph.Path
+			)
 			if v == j {
-				cand = RouteEntry{Dest: j, Cost: 0, Path: graph.Path{self, j}}
+				candCost, candBase = 0, direct[:]
 			} else {
 				e, ok := views[v].Routing[j]
 				if !ok {
@@ -56,21 +64,41 @@ func ComputeRouting(self graph.NodeID, neighbors []graph.NodeID, costs CostTable
 				if !ok {
 					continue // v's declared cost not yet known (phase 1 incomplete)
 				}
-				path := make(graph.Path, 0, len(e.Path)+1)
-				path = append(path, self)
-				path = append(path, e.Path...)
-				cand = RouteEntry{Dest: j, Cost: vc + e.Cost, Path: path}
+				candCost, candBase = vc+e.Cost, e.Path
 			}
-			if best == nil || graph.Better(cand.Cost, cand.Path, best.Cost, best.Path) {
-				c := cand
-				best = &c
+			if !found || betterBase(candCost, candBase, bestCost, bestBase) {
+				bestCost, bestBase, found = candCost, candBase, true
 			}
 		}
-		if best != nil {
-			out[j] = *best
+		if found {
+			out[j] = RouteEntry{Dest: j, Cost: bestCost, Path: prepend(self, bestBase)}
 		}
 	}
 	return out
+}
+
+// betterBase reports whether candidate (c1, base1) beats (c2, base2)
+// under the composite route order, where each full path is the shared
+// prefix `self` plus the base path. Because both candidates carry the
+// same one-node prefix, comparing (cost, len(base), base-lex) is
+// exactly graph.Better on the materialized paths — which lets the
+// relaxation loops compare every candidate without allocating and
+// materialize only the winner (see prepend).
+func betterBase(c1 graph.Cost, base1 graph.Path, c2 graph.Cost, base2 graph.Path) bool {
+	if c1 != c2 {
+		return c1 < c2
+	}
+	if len(base1) != len(base2) {
+		return len(base1) < len(base2)
+	}
+	return base1.Less(base2)
+}
+
+// prepend materializes self + base as a fresh path.
+func prepend(self graph.NodeID, base graph.Path) graph.Path {
+	path := make(graph.Path, 0, len(base)+1)
+	path = append(path, self)
+	return append(path, base...)
 }
 
 // ComputePricing recomputes DATA3* for `self`: for every destination j
@@ -91,6 +119,10 @@ func ComputeRouting(self graph.NodeID, neighbors []graph.NodeID, costs CostTable
 // Pure, for the same reason as ComputeRouting ([CHECK2]).
 func ComputePricing(self graph.NodeID, neighbors []graph.NodeID, costs CostTable, routing RoutingTable, views map[graph.NodeID]NeighborView) PricingTable {
 	out := make(PricingTable)
+	// contribs records each neighbor's avoid-k contribution for the
+	// current (j, k) so the identity-tag pass reuses the relaxation
+	// loop's values instead of recomputing them.
+	contribs := make([]contrib, 0, len(neighbors))
 	for j, route := range routing {
 		transits := route.Path.TransitNodes()
 		if len(transits) == 0 {
@@ -103,39 +135,43 @@ func ComputePricing(self graph.NodeID, neighbors []graph.NodeID, costs CostTable
 				continue
 			}
 			var (
-				bestCost graph.Cost = graph.Infinity
-				bestPath graph.Path
+				bestCost graph.Cost
+				bestBase graph.Path
+				found    bool
 			)
+			direct := [1]graph.NodeID{j}
+			contribs = contribs[:0]
 			for _, v := range neighbors {
 				if v == k {
 					continue
 				}
 				var (
 					contribution graph.Cost
-					witness      graph.Path
+					base         graph.Path
 					ok           bool
 				)
 				switch {
 				case v == j:
-					contribution, witness, ok = 0, graph.Path{self, j}, true
+					contribution, base, ok = 0, direct[:], true
 				default:
-					contribution, witness, ok = neighborAvoidValue(self, v, j, k, costs, views)
+					contribution, base, ok = neighborAvoidValue(v, j, k, costs, views)
 				}
 				if !ok {
 					continue
 				}
-				if bestPath == nil || graph.Better(contribution, witness, bestCost, bestPath) {
-					bestCost, bestPath = contribution, witness
+				contribs = append(contribs, contrib{v: v, cost: contribution})
+				if !found || betterBase(contribution, base, bestCost, bestBase) {
+					bestCost, bestBase, found = contribution, base, true
 				}
 			}
-			if bestPath == nil {
+			if !found {
 				continue // no avoid-k information yet; a later update fills it
 			}
 			row[k] = PriceEntry{
 				Transit: k,
 				Price:   kc + bestCost - route.Cost,
-				Avoid:   bestPath,
-				Tags:    tagSet(self, j, k, bestCost, neighbors, costs, views),
+				Avoid:   prepend(self, bestBase),
+				Tags:    tagSet(bestCost, contribs),
 			}
 		}
 		if len(row) > 0 {
@@ -145,10 +181,11 @@ func ComputePricing(self graph.NodeID, neighbors []graph.NodeID, costs CostTable
 	return out
 }
 
-// neighborAvoidValue returns v's best avoid-k continuation toward j as
-// seen by self: the contribution cost, the witness path (self
-// prepended) and whether the value is available yet.
-func neighborAvoidValue(self, v, j, k graph.NodeID, costs CostTable, views map[graph.NodeID]NeighborView) (graph.Cost, graph.Path, bool) {
+// neighborAvoidValue returns v's best avoid-k continuation toward j:
+// the contribution cost, the *base* witness path (a read-only view of
+// v's tables, without the self prefix — see betterBase/prepend) and
+// whether the value is available yet.
+func neighborAvoidValue(v, j, k graph.NodeID, costs CostTable, views map[graph.NodeID]NeighborView) (graph.Cost, graph.Path, bool) {
 	view, ok := views[v]
 	if !ok {
 		return 0, nil, false
@@ -163,10 +200,7 @@ func neighborAvoidValue(self, v, j, k graph.NodeID, costs CostTable, views map[g
 	}
 	if !e.Path.Contains(k) {
 		// v's own LCP avoids k: d(v→j) is an avoid-k value.
-		path := make(graph.Path, 0, len(e.Path)+1)
-		path = append(path, self)
-		path = append(path, e.Path...)
-		return vc + e.Cost, path, true
+		return vc + e.Cost, e.Path, true
 	}
 	pe, ok := view.Pricing[j][k]
 	if !ok {
@@ -178,32 +212,24 @@ func neighborAvoidValue(self, v, j, k graph.NodeID, costs CostTable, views map[g
 		return 0, nil, false
 	}
 	b := pe.Price - kc + e.Cost
-	path := make(graph.Path, 0, len(pe.Avoid)+1)
-	path = append(path, self)
-	path = append(path, pe.Avoid...)
-	return vc + b, path, true
+	return vc + b, pe.Avoid, true
+}
+
+// contrib is one neighbor's avoid-k contribution cost for the current
+// (destination, transit) pair.
+type contrib struct {
+	v    graph.NodeID
+	cost graph.Cost
 }
 
 // tagSet returns the sorted union of neighbors whose contribution cost
-// equals the chosen minimum b.
-func tagSet(self, j, k graph.NodeID, b graph.Cost, neighbors []graph.NodeID, costs CostTable, views map[graph.NodeID]NeighborView) []graph.NodeID {
+// equals the chosen minimum b, straight from the relaxation loop's
+// recorded contributions.
+func tagSet(b graph.Cost, contribs []contrib) []graph.NodeID {
 	var tags []graph.NodeID
-	for _, v := range neighbors {
-		if v == k {
-			continue
-		}
-		var contribution graph.Cost
-		if v == j {
-			contribution = 0
-		} else {
-			c, _, ok := neighborAvoidValue(self, v, j, k, costs, views)
-			if !ok {
-				continue
-			}
-			contribution = c
-		}
-		if contribution == b {
-			tags = append(tags, v)
+	for _, c := range contribs {
+		if c.cost == b {
+			tags = append(tags, c.v)
 		}
 	}
 	sortIDs(tags)

@@ -45,12 +45,11 @@ type Deviation struct {
 // Name implements core.Deviation.
 func (d *Deviation) Name() string { return d.name }
 
-// Classes implements core.Deviation.
-func (d *Deviation) Classes() []spec.ActionKind {
-	out := make([]spec.ActionKind, len(d.classes))
-	copy(out, d.classes)
-	return out
-}
+// Classes implements core.Deviation. The returned slice is shared and
+// read-only: the deviation-search hot loop calls Classes on every
+// play, and core.CheckFaithfulness copies it only when recording a
+// Violation.
+func (d *Deviation) Classes() []spec.ActionKind { return d.classes }
 
 // Catalogue returns the full deviation list. Deviations whose checker
 // layer only exists in the faithful protocol are included only when

@@ -105,7 +105,7 @@ func TestPlainFPSSVCGKeepsCostMisreportsUnprofitable(t *testing.T) {
 
 func TestFaithfulSystemIsFaithfulFigure1(t *testing.T) {
 	if testing.Short() {
-		t.Skip("full deviation search over Figure 1 is the slow lane")
+		t.Skip("deviation searches run in the full (blocking) lane; -short only trims PR latency")
 	}
 	g := graph.Figure1()
 	sys := &FaithfulSystem{Graph: g, Params: DefaultParams(g)}
@@ -129,7 +129,7 @@ func TestFaithfulSystemIsFaithfulFigure1(t *testing.T) {
 
 func TestFaithfulSystemIsFaithfulRandom(t *testing.T) {
 	if testing.Short() {
-		t.Skip("long deviation search")
+		t.Skip("deviation searches run in the full (blocking) lane; -short only trims PR latency")
 	}
 	rng := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 3; trial++ {

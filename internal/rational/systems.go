@@ -2,6 +2,7 @@ package rational
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bank"
 	"repro/internal/core"
@@ -40,37 +41,74 @@ func DefaultParams(g *graph.Graph) Params {
 	}
 }
 
+// scenario is the truthful per-scenario state shared read-only by
+// every (node, deviation) run on one System: the deviation catalogue,
+// the node list, the sorted flow order, the true-cost table, and (for
+// the faithful protocol) the topology/checker views. It is computed
+// once, lazily, and must never be mutated afterwards — that is what
+// makes a System's Run safe for the concurrent plays that
+// core.CheckFaithfulness(..., core.Workers(k)) fans out.
+type scenario struct {
+	once      sync.Once
+	cat       []core.Deviation
+	nodes     []core.NodeID
+	flows     [][2]graph.NodeID
+	trueCosts fpss.CostTable
+	neighbors map[graph.NodeID][]graph.NodeID // faithful only
+	checkers  map[graph.NodeID][]graph.NodeID // faithful only
+}
+
+func (s *scenario) init(g *graph.Graph, p Params, forFaithful bool) {
+	s.once.Do(func() {
+		n := g.N()
+		cat := Catalogue(forFaithful)
+		s.cat = make([]core.Deviation, 0, len(cat))
+		for _, d := range cat {
+			s.cat = append(s.cat, d)
+		}
+		s.nodes = make([]core.NodeID, n)
+		s.trueCosts = make(fpss.CostTable, n)
+		for i := 0; i < n; i++ {
+			s.nodes[i] = core.NodeID(i)
+			s.trueCosts[graph.NodeID(i)] = g.Cost(graph.NodeID(i))
+		}
+		s.flows = p.Traffic.Flows()
+		if forFaithful {
+			s.neighbors, s.checkers = faithful.Topology(g, p.CheckerLimit)
+		}
+	})
+}
+
 // PlainSystem plays deviations against the *original* FPSS protocol:
 // obedient network assumed by FPSS, no checkers, accounting that
-// trusts reported payments. It implements core.System.
+// trusts reported payments. It implements core.System; Run is safe
+// for concurrent calls (scenario state is read-only once built), so
+// it composes with core.Workers.
 type PlainSystem struct {
 	Graph  *graph.Graph
 	Params Params
+
+	scen scenario
 }
 
 var _ core.System = (*PlainSystem)(nil)
 
 // Nodes implements core.System.
 func (s *PlainSystem) Nodes() []core.NodeID {
-	out := make([]core.NodeID, s.Graph.N())
-	for i := range out {
-		out[i] = core.NodeID(i)
-	}
-	return out
+	s.scen.init(s.Graph, s.Params, false)
+	return s.scen.nodes
 }
 
-// Deviations implements core.System.
+// Deviations implements core.System. The returned slice is shared and
+// read-only.
 func (s *PlainSystem) Deviations(core.NodeID) []core.Deviation {
-	cat := Catalogue(false)
-	out := make([]core.Deviation, 0, len(cat))
-	for _, d := range cat {
-		out = append(out, d)
-	}
-	return out
+	s.scen.init(s.Graph, s.Params, false)
+	return s.scen.cat
 }
 
 // Run implements core.System.
 func (s *PlainSystem) Run(deviator core.NodeID, dev core.Deviation) (core.Outcome, error) {
+	s.scen.init(s.Graph, s.Params, false)
 	var strategies map[graph.NodeID]*fpss.Strategy
 	var reportHooks map[graph.NodeID]func(fpss.PaymentList) fpss.PaymentList
 	if dev != nil && deviator >= 0 {
@@ -94,17 +132,17 @@ func (s *PlainSystem) Run(deviator core.NodeID, dev core.Deviation) (core.Outcom
 	routing := make(map[graph.NodeID]fpss.RoutingTable, len(res.Nodes))
 	pricing := make(map[graph.NodeID]fpss.PricingTable, len(res.Nodes))
 	declared := make(fpss.CostTable, len(res.Nodes))
-	trueCosts := make(fpss.CostTable, len(res.Nodes))
 	for id, node := range res.Nodes {
-		routing[id] = node.Routing()
-		pricing[id] = node.Pricing()
+		// Quiescent-network views: Execute treats tables as read-only.
+		routing[id] = node.RoutingView()
+		pricing[id] = node.PricingView()
 		declared[id] = node.DeclaredCost()
-		trueCosts[id] = s.Graph.Cost(id)
 	}
 	exec, err := fpss.Execute(routing, pricing, fpss.ExecConfig{
-		TrueCosts:          trueCosts,
+		TrueCosts:          s.scen.trueCosts,
 		DeclaredCosts:      declared,
 		Traffic:            s.Params.Traffic,
+		Flows:              s.scen.flows,
 		DeliveryValue:      s.Params.DeliveryValue,
 		UndeliveredPenalty: s.Params.UndeliveredPenalty,
 		Scheme:             s.Params.Scheme,
@@ -121,35 +159,33 @@ func (s *PlainSystem) Run(deviator core.NodeID, dev core.Deviation) (core.Outcom
 }
 
 // FaithfulSystem plays deviations against the paper's extended FPSS
-// specification. It implements core.System.
+// specification. It implements core.System; like PlainSystem, Run is
+// safe for concurrent calls.
 type FaithfulSystem struct {
 	Graph  *graph.Graph
 	Params Params
+
+	scen scenario
 }
 
 var _ core.System = (*FaithfulSystem)(nil)
 
 // Nodes implements core.System.
 func (s *FaithfulSystem) Nodes() []core.NodeID {
-	out := make([]core.NodeID, s.Graph.N())
-	for i := range out {
-		out[i] = core.NodeID(i)
-	}
-	return out
+	s.scen.init(s.Graph, s.Params, true)
+	return s.scen.nodes
 }
 
-// Deviations implements core.System.
+// Deviations implements core.System. The returned slice is shared and
+// read-only.
 func (s *FaithfulSystem) Deviations(core.NodeID) []core.Deviation {
-	cat := Catalogue(true)
-	out := make([]core.Deviation, 0, len(cat))
-	for _, d := range cat {
-		out = append(out, d)
-	}
-	return out
+	s.scen.init(s.Graph, s.Params, true)
+	return s.scen.cat
 }
 
 // Run implements core.System.
 func (s *FaithfulSystem) Run(deviator core.NodeID, dev core.Deviation) (core.Outcome, error) {
+	s.scen.init(s.Graph, s.Params, true)
 	var strategies map[graph.NodeID]*faithful.Strategy
 	if dev != nil && deviator >= 0 {
 		d, ok := dev.(*Deviation)
@@ -178,6 +214,9 @@ func (s *FaithfulSystem) Run(deviator core.NodeID, dev core.Deviation) (core.Out
 		Graph:              s.Graph,
 		Strategies:         strategies,
 		Traffic:            s.Params.Traffic,
+		Flows:              s.scen.flows,
+		Neighbors:          s.scen.neighbors,
+		Checkers:           s.scen.checkers,
 		DeliveryValue:      s.Params.DeliveryValue,
 		UndeliveredPenalty: s.Params.UndeliveredPenalty,
 		NonProgressPenalty: s.Params.NonProgressPenalty,

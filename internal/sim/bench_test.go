@@ -21,6 +21,7 @@ func (c *chainNode) Recv(ctx Context, m Message) {
 }
 
 func BenchmarkTokenChain64(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		n := NewNetwork()
 		const size = 64
@@ -30,6 +31,24 @@ func BenchmarkTokenChain64(b *testing.B) {
 		if _, err := n.Run(1 << 12); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTokenChain64Pooled is the deviation-search shape: the same
+// workload as BenchmarkTokenChain64 but rebuilding each run's network
+// from the package pool, the way fpss.Run and faithful.Run do.
+func BenchmarkTokenChain64Pooled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := AcquireNetwork()
+		const size = 64
+		for j := 0; j < size; j++ {
+			_ = n.Attach(Addr(j), &chainNode{next: Addr(j + 1), last: j == size-1})
+		}
+		if _, err := n.Run(1 << 12); err != nil {
+			b.Fatal(err)
+		}
+		n.Release()
 	}
 }
 
@@ -48,6 +67,7 @@ func (br *broadcaster) Init(ctx Context) {
 func (br *broadcaster) Recv(Context, Message) {}
 
 func BenchmarkAllToAllBroadcast32(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		n := NewNetwork()
 		const size = 32
@@ -58,4 +78,35 @@ func BenchmarkAllToAllBroadcast32(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ringNode forwards a token around a ring forever; the benchmark
+// bounds each drain with the step budget.
+type ringNode struct{ next Addr }
+
+func (r *ringNode) Init(Context) {}
+func (r *ringNode) Recv(ctx Context, m Message) {
+	ctx.Send(r.next, m.Payload)
+}
+
+// BenchmarkEventLoopSteadyState measures the pure delivery loop: one
+// network built outside the timed region, each iteration draining
+// exactly 4096 deliveries. This is the allocs/op figure for the sim
+// event loop itself (heap push/pop, context reuse, dense counters),
+// with network construction and payload boxing excluded.
+func BenchmarkEventLoopSteadyState(b *testing.B) {
+	n := NewNetwork()
+	const size = 64
+	for j := 0; j < size; j++ {
+		_ = n.Attach(Addr(j), &ringNode{next: Addr((j + 1) % size)})
+	}
+	n.Inject(99, 0, "token")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Resume(1 << 12); err == nil {
+			b.Fatal("ring should never quiesce")
+		}
+	}
+	b.ReportMetric(1<<12, "deliveries/op")
 }

@@ -11,16 +11,32 @@
 //
 // Deviating (rational) behavior lives in the node handlers, not in the
 // network: the network itself is obedient, as assumed by the paper.
+//
+// The event loop is allocation-lean: handlers and per-node counters
+// are dense slices indexed by address (with a map overflow for sparse
+// addresses like the bank's), the event queue is a hand-rolled binary
+// heap over a plain slice (no container/heap boxing), and each handler
+// gets one reusable Context for the network's lifetime. A Network can
+// also be Reset and reused across runs — deviation searches play
+// hundreds of protocol runs back to back, and rebuilding the network
+// from pooled storage keeps that loop off the allocator (see
+// AcquireNetwork / Release).
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Addr identifies an endpoint in the simulated network.
 type Addr int
+
+// maxDenseAddr bounds the dense (slice-indexed) address range.
+// Addresses in [0, maxDenseAddr) get O(1) indexed handlers and
+// counters; anything else (negative, or sparse high addresses like the
+// fpss bank at 1<<20) falls back to a small map.
+const maxDenseAddr = 1 << 12
 
 // Message is a payload in flight between two endpoints.
 type Message struct {
@@ -31,7 +47,9 @@ type Message struct {
 
 // Context is the API a handler uses during Init/Recv. It is an
 // interface so the same handlers run unchanged on the deterministic
-// event simulator and on the goroutine-based livenet runtime.
+// event simulator and on the goroutine-based livenet runtime. The
+// Context passed to a handler is only valid for the duration of the
+// call; handlers must not retain it.
 type Context interface {
 	// Self returns the handler's own address.
 	Self() Addr
@@ -56,7 +74,9 @@ type Handler interface {
 // traffic accounting. Payloads that do not implement Sizer count as 1.
 type Sizer interface{ Size() int }
 
-// Counters aggregates traffic statistics for a run.
+// Counters aggregates traffic statistics for a run. Values returned by
+// Run/Resume/Counters are snapshots: the maps are freshly built and
+// never alias the network's internal state.
 type Counters struct {
 	Sent       int64 // messages submitted via Send
 	Delivered  int64 // messages handed to Recv
@@ -69,14 +89,27 @@ type Counters struct {
 
 // Network is a deterministic event-driven message network.
 type Network struct {
-	handlers map[Addr]Handler
-	queue    eventHeap
-	seq      int64
-	now      int64
-	delay    func(from, to Addr) int64
-	tamper   func(m Message) (Message, bool)
-	counters Counters
-	running  bool
+	// Dense handler table for addresses in [0, maxDenseAddr): handlers
+	// and their reusable contexts, indexed by address. sparse holds
+	// everything else.
+	dense     []Handler
+	denseCtx  []netContext
+	sparse    map[Addr]Handler
+	sparseCtx map[Addr]*netContext
+
+	queue  eventHeap
+	seq    int64
+	now    int64
+	delay  func(from, to Addr) int64
+	tamper func(m Message) (Message, bool)
+
+	sent, delivered, dropped, bytes, steps int64
+	// Per-node counters: dense slices grown on demand, map overflow
+	// for out-of-range addresses.
+	denseIn, denseOut   []int64
+	sparseIn, sparseOut map[Addr]int64
+
+	running bool
 }
 
 // Option configures a Network.
@@ -96,16 +129,59 @@ func WithTamper(t func(m Message) (Message, bool)) Option {
 
 // NewNetwork returns an empty network.
 func NewNetwork(opts ...Option) *Network {
-	n := &Network{
-		handlers: make(map[Addr]Handler),
-		delay:    func(_, _ Addr) int64 { return 1 },
-	}
-	n.counters.PerNodeIn = make(map[Addr]int64)
-	n.counters.PerNodeOut = make(map[Addr]int64)
+	n := &Network{}
 	for _, o := range opts {
 		o(n)
 	}
 	return n
+}
+
+// netPool recycles Networks (and their handler tables, counter arrays
+// and event-queue backing) across runs; see AcquireNetwork.
+var netPool = sync.Pool{New: func() any { return &Network{} }}
+
+// AcquireNetwork returns an empty network from the package pool,
+// configured with opts. It is equivalent to NewNetwork but reuses
+// storage from previously Released networks — the fast path for
+// deviation searches that rebuild a network per (node, deviation) run.
+func AcquireNetwork(opts ...Option) *Network {
+	n := netPool.Get().(*Network)
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Release resets n and returns it to the package pool. The caller must
+// not use n (or any Context it handed out) afterwards. Counters
+// snapshots returned earlier remain valid — they never alias network
+// state.
+func (n *Network) Release() {
+	n.Reset()
+	netPool.Put(n)
+}
+
+// Reset returns the network to its post-NewNetwork state — no
+// handlers, no queued events, zeroed counters and cleared hooks —
+// while keeping allocated storage for reuse.
+func (n *Network) Reset() {
+	clear(n.dense)
+	clear(n.denseCtx)
+	clear(n.sparse)
+	clear(n.sparseCtx)
+	// Clear before truncating: a non-quiescent run (budget exhausted)
+	// leaves undelivered events whose payloads must not stay reachable
+	// through the pooled backing array.
+	clear(n.queue)
+	n.queue = n.queue[:0]
+	n.seq, n.now = 0, 0
+	n.delay, n.tamper = nil, nil
+	n.sent, n.delivered, n.dropped, n.bytes, n.steps = 0, 0, 0, 0, 0
+	clear(n.denseIn)
+	clear(n.denseOut)
+	clear(n.sparseIn)
+	clear(n.sparseOut)
+	n.running = false
 }
 
 // ErrDuplicateAddr is returned when an address is attached twice.
@@ -113,16 +189,48 @@ var ErrDuplicateAddr = errors.New("sim: duplicate address")
 
 // Attach registers a handler at addr.
 func (n *Network) Attach(addr Addr, h Handler) error {
-	if _, ok := n.handlers[addr]; ok {
+	if addr >= 0 && addr < maxDenseAddr {
+		if int(addr) < len(n.dense) && n.dense[addr] != nil {
+			return fmt.Errorf("%w: %d", ErrDuplicateAddr, addr)
+		}
+		for int(addr) >= len(n.dense) {
+			n.dense = append(n.dense, nil)
+			n.denseCtx = append(n.denseCtx, netContext{})
+		}
+		n.dense[addr] = h
+		n.denseCtx[addr] = netContext{net: n, self: addr}
+		return nil
+	}
+	if _, ok := n.sparse[addr]; ok {
 		return fmt.Errorf("%w: %d", ErrDuplicateAddr, addr)
 	}
-	n.handlers[addr] = h
+	if n.sparse == nil {
+		n.sparse = make(map[Addr]Handler)
+		n.sparseCtx = make(map[Addr]*netContext)
+	}
+	n.sparse[addr] = h
+	n.sparseCtx[addr] = &netContext{net: n, self: addr}
 	return nil
+}
+
+// handler returns the handler and reusable context at addr, or nil.
+func (n *Network) handler(addr Addr) (Handler, *netContext) {
+	if addr >= 0 && int(addr) < len(n.dense) {
+		if h := n.dense[addr]; h != nil {
+			return h, &n.denseCtx[addr]
+		}
+		return nil, nil
+	}
+	if h, ok := n.sparse[addr]; ok {
+		return h, n.sparseCtx[addr]
+	}
+	return nil, nil
 }
 
 // netContext is the event-simulator Context. Sends to unknown
 // addresses are counted but silently discarded at delivery, matching a
-// static network with a fixed membership.
+// static network with a fixed membership. One context per handler is
+// created at Attach and reused for every Init/Recv call.
 type netContext struct {
 	net  *Network
 	self Addr
@@ -141,19 +249,51 @@ func (n *Network) send(from, to Addr, payload any) {
 	if n.tamper != nil {
 		var ok bool
 		if m, ok = n.tamper(m); !ok {
-			n.counters.Dropped++
+			n.dropped++
 			return
 		}
 	}
-	n.counters.Sent++
-	n.counters.PerNodeOut[from]++
+	n.sent++
+	n.bumpOut(from)
 	size := int64(1)
 	if s, ok := m.Payload.(Sizer); ok {
 		size = int64(s.Size())
 	}
-	n.counters.Bytes += size
+	n.bytes += size
 	n.seq++
-	heap.Push(&n.queue, event{at: n.now + n.delay(from, to), seq: n.seq, msg: m})
+	at := n.now + 1
+	if n.delay != nil {
+		at = n.now + n.delay(from, to)
+	}
+	n.queue.push(event{at: at, seq: n.seq, msg: m})
+}
+
+func (n *Network) bumpOut(a Addr) {
+	if a >= 0 && a < maxDenseAddr {
+		for int(a) >= len(n.denseOut) {
+			n.denseOut = append(n.denseOut, 0)
+		}
+		n.denseOut[a]++
+		return
+	}
+	if n.sparseOut == nil {
+		n.sparseOut = make(map[Addr]int64)
+	}
+	n.sparseOut[a]++
+}
+
+func (n *Network) bumpIn(a Addr) {
+	if a >= 0 && a < maxDenseAddr {
+		for int(a) >= len(n.denseIn) {
+			n.denseIn = append(n.denseIn, 0)
+		}
+		n.denseIn[a]++
+		return
+	}
+	if n.sparseIn == nil {
+		n.sparseIn = make(map[Addr]int64)
+	}
+	n.sparseIn[a]++
 }
 
 // ErrBudgetExhausted is returned by Run when maxSteps deliveries
@@ -165,41 +305,57 @@ var ErrBudgetExhausted = errors.New("sim: step budget exhausted before quiescenc
 // occurred. It returns the counters for the run.
 func (n *Network) Run(maxSteps int64) (Counters, error) {
 	if n.running {
-		return n.counters, errors.New("sim: Run re-entered")
+		return n.snapshot(), errors.New("sim: Run re-entered")
 	}
 	n.running = true
 	defer func() { n.running = false }()
 
-	for _, addr := range n.addrs() {
-		h := n.handlers[addr]
-		h.Init(&netContext{net: n, self: addr})
+	// Init in ascending address order: sparse negatives, the dense
+	// range, then sparse high addresses.
+	sparse := sortedAddrs(n.sparse)
+	for _, a := range sparse {
+		if a < 0 {
+			n.sparse[a].Init(n.sparseCtx[a])
+		}
+	}
+	for a := range n.dense {
+		if h := n.dense[a]; h != nil {
+			h.Init(&n.denseCtx[a])
+		}
+	}
+	for _, a := range sparse {
+		if a >= 0 {
+			n.sparse[a].Init(n.sparseCtx[a])
+		}
 	}
 	return n.drain(maxSteps)
 }
 
 // Resume continues delivering after external injection (see Inject)
-// without re-running Init. It shares the step budget semantics of Run.
+// without re-running Init. Each call has its own step budget: a Resume
+// after an exhausted Run (or Resume) delivers up to maxSteps further
+// messages — the budget bounds one drain, not the network's lifetime.
 func (n *Network) Resume(maxSteps int64) (Counters, error) {
 	return n.drain(maxSteps)
 }
 
 func (n *Network) drain(maxSteps int64) (Counters, error) {
 	var steps int64
-	for n.queue.Len() > 0 {
+	for len(n.queue) > 0 {
 		if steps >= maxSteps {
 			return n.snapshot(), fmt.Errorf("%w (%d steps)", ErrBudgetExhausted, steps)
 		}
-		ev := heap.Pop(&n.queue).(event)
+		ev := n.queue.pop()
 		n.now = ev.at
 		steps++
-		n.counters.Steps++
-		h, ok := n.handlers[ev.msg.To]
-		if !ok {
+		n.steps++
+		h, ctx := n.handler(ev.msg.To)
+		if h == nil {
 			continue // discarded: unknown destination
 		}
-		n.counters.Delivered++
-		n.counters.PerNodeIn[ev.msg.To]++
-		h.Recv(&netContext{net: n, self: ev.msg.To}, ev.msg)
+		n.delivered++
+		n.bumpIn(ev.msg.To)
+		h.Recv(ctx, ev.msg)
 	}
 	return n.snapshot(), nil
 }
@@ -211,40 +367,61 @@ func (n *Network) Inject(from, to Addr, payload any) {
 }
 
 // Quiescent reports whether no messages are in flight.
-func (n *Network) Quiescent() bool { return n.queue.Len() == 0 }
+func (n *Network) Quiescent() bool { return len(n.queue) == 0 }
 
 // Counters returns a copy of the current counters.
 func (n *Network) Counters() Counters { return n.snapshot() }
 
 // Handler returns the handler attached at addr, if any.
 func (n *Network) Handler(addr Addr) (Handler, bool) {
-	h, ok := n.handlers[addr]
-	return h, ok
+	h, _ := n.handler(addr)
+	return h, h != nil
 }
 
 // Now returns the current simulated time.
 func (n *Network) Now() int64 { return n.now }
 
+// snapshot materializes the internal dense/sparse counters into an
+// isolated Counters value.
 func (n *Network) snapshot() Counters {
-	out := n.counters
-	out.PerNodeIn = make(map[Addr]int64, len(n.counters.PerNodeIn))
-	out.PerNodeOut = make(map[Addr]int64, len(n.counters.PerNodeOut))
-	for k, v := range n.counters.PerNodeIn {
-		out.PerNodeIn[k] = v
+	out := Counters{
+		Sent:       n.sent,
+		Delivered:  n.delivered,
+		Dropped:    n.dropped,
+		Bytes:      n.bytes,
+		Steps:      n.steps,
+		PerNodeIn:  make(map[Addr]int64),
+		PerNodeOut: make(map[Addr]int64),
 	}
-	for k, v := range n.counters.PerNodeOut {
-		out.PerNodeOut[k] = v
+	for a, v := range n.denseIn {
+		if v != 0 {
+			out.PerNodeIn[Addr(a)] = v
+		}
+	}
+	for a, v := range n.denseOut {
+		if v != 0 {
+			out.PerNodeOut[Addr(a)] = v
+		}
+	}
+	for a, v := range n.sparseIn {
+		out.PerNodeIn[a] = v
+	}
+	for a, v := range n.sparseOut {
+		out.PerNodeOut[a] = v
 	}
 	return out
 }
 
-func (n *Network) addrs() []Addr {
-	out := make([]Addr, 0, len(n.handlers))
-	for a := range n.handlers {
+// sortedAddrs returns m's keys ascending (insertion sort: the sparse
+// table holds a handful of addresses, typically just the bank).
+func sortedAddrs(m map[Addr]Handler) []Addr {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]Addr, 0, len(m))
+	for a := range m {
 		out = append(out, a)
 	}
-	// Insertion sort keeps determinism without importing sort for a
-	// tiny, hot-free path.
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j] < out[j-1]; j-- {
 			out[j], out[j-1] = out[j-1], out[j]
@@ -259,21 +436,55 @@ type event struct {
 	msg Message
 }
 
+// eventHeap is a binary min-heap over (at, seq) on a plain slice. The
+// hand-rolled push/pop avoid container/heap's interface boxing — one
+// allocation per enqueued and dequeued event in the old event loop.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *eventHeap) push(ev event) {
+	q := append(*h, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = event{} // drop payload reference for the GC
+	q = q[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q) && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(q) && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	*h = q
+	return top
 }

@@ -277,11 +277,167 @@ func TestRunReentryRejected(t *testing.T) {
 type reentrant struct {
 	net    *Network
 	sawErr bool
+	inner  Counters
 }
 
 func (r *reentrant) Init(ctx Context) {
-	if _, err := r.net.Run(1); err != nil {
+	if c, err := r.net.Run(1); err != nil {
 		r.sawErr = true
+		r.inner = c
 	}
 }
 func (r *reentrant) Recv(Context, Message) {}
+
+func TestRunReentryCountersIsolated(t *testing.T) {
+	// The counters returned on the re-entry error path must be a
+	// snapshot, not an alias of the network's internal maps.
+	n := NewNetwork()
+	r := &reentrant{net: n}
+	_ = n.Attach(0, r)
+	_ = n.Attach(1, &burst{to: 0, count: 2})
+	if _, err := n.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !r.sawErr {
+		t.Fatal("nested Run should have errored")
+	}
+	r.inner.PerNodeIn[0] = 999
+	r.inner.PerNodeOut[1] = 999
+	after := n.Counters()
+	if after.PerNodeIn[0] == 999 || after.PerNodeOut[1] == 999 {
+		t.Error("re-entry error path returned aliased counter maps")
+	}
+}
+
+func TestResumeBudgetIsPerCall(t *testing.T) {
+	// Each Run/Resume call gets its own step budget: an exhausted
+	// drain can be continued by another Resume, and the cumulative
+	// Steps counter keeps counting across calls.
+	n := NewNetwork()
+	_ = n.Attach(0, &flooder{peer: 1})
+	_ = n.Attach(1, &flooder{peer: 0})
+	c, err := n.Run(10)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("Run = %v, want ErrBudgetExhausted", err)
+	}
+	if c.Steps != 10 {
+		t.Errorf("steps after Run = %d, want 10", c.Steps)
+	}
+	c, err = n.Resume(7)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("Resume = %v, want ErrBudgetExhausted (fresh budget, still flooding)", err)
+	}
+	if c.Steps != 17 {
+		t.Errorf("steps after Resume = %d, want 17 (cumulative)", c.Steps)
+	}
+}
+
+func TestInjectThenResumeRespectsBudget(t *testing.T) {
+	// Injected messages count against the next Resume's budget exactly
+	// like protocol messages, and a follow-up Resume finishes the job.
+	n := NewNetwork()
+	rec := &recorder{}
+	_ = n.Attach(5, rec)
+	if _, err := n.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		n.Inject(100, 5, i)
+	}
+	if _, err := n.Resume(2); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("Resume = %v, want ErrBudgetExhausted", err)
+	}
+	if len(rec.seen) != 2 {
+		t.Fatalf("seen after capped Resume = %v, want 2 messages", rec.seen)
+	}
+	c, err := n.Resume(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.seen) != 4 || !n.Quiescent() {
+		t.Errorf("seen = %v quiescent = %v, want all 4 delivered", rec.seen, n.Quiescent())
+	}
+	if c.Delivered != 4 || c.PerNodeOut[100] != 4 {
+		t.Errorf("delivered = %d, out[100] = %d, want 4/4", c.Delivered, c.PerNodeOut[100])
+	}
+}
+
+func TestSparseAddresses(t *testing.T) {
+	// Addresses outside the dense range (the bank lives at 1<<20) and
+	// negative addresses take the map path: same delivery, counter and
+	// duplicate-detection semantics.
+	const bank Addr = 1 << 20
+	n := NewNetwork()
+	rec := &recorder{}
+	_ = n.Attach(bank, rec)
+	_ = n.Attach(0, &burst{to: bank, count: 3})
+	if err := n.Attach(bank, &recorder{}); !errors.Is(err, ErrDuplicateAddr) {
+		t.Errorf("duplicate sparse attach = %v, want ErrDuplicateAddr", err)
+	}
+	c, err := n.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.seen) != 3 {
+		t.Errorf("sparse handler saw %v, want 3 messages", rec.seen)
+	}
+	if c.PerNodeIn[bank] != 3 || c.PerNodeOut[0] != 3 {
+		t.Errorf("counters in[bank]=%d out[0]=%d, want 3/3", c.PerNodeIn[bank], c.PerNodeOut[0])
+	}
+	if h, ok := n.Handler(bank); !ok || h != Handler(rec) {
+		t.Error("Handler(bank) lookup failed")
+	}
+	if h, ok := n.Handler(-7); ok || h != nil {
+		t.Error("Handler(-7) should be absent")
+	}
+}
+
+func TestResetReuse(t *testing.T) {
+	// A Reset network behaves exactly like a fresh one: handlers,
+	// hooks, counters, queue and time are all cleared.
+	n := NewNetwork(WithTamper(func(m Message) (Message, bool) { return m, false }))
+	_ = n.Attach(0, &burst{to: 1, count: 5})
+	_ = n.Attach(1, &recorder{})
+	if _, err := n.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	n.Reset()
+	if _, ok := n.Handler(0); ok {
+		t.Error("Reset should detach handlers")
+	}
+	rec := &recorder{}
+	_ = n.Attach(0, &burst{to: 1, count: 2})
+	_ = n.Attach(1, rec)
+	c, err := n.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sent != 2 || c.Dropped != 0 || c.PerNodeOut[0] != 2 {
+		t.Errorf("post-Reset counters = %+v, want a fresh run without the tamper hook", c)
+	}
+	if len(rec.seen) != 2 {
+		t.Errorf("post-Reset delivery = %v, want 2 messages", rec.seen)
+	}
+	// Both Init-time sends deliver at t=1 (default delay): logical
+	// time restarted from zero.
+	if n.Now() != 1 {
+		t.Errorf("post-Reset time = %d, want 1", n.Now())
+	}
+}
+
+func TestAcquireReleaseRoundTrip(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		n := AcquireNetwork()
+		rec := &recorder{}
+		_ = n.Attach(0, &burst{to: 1, count: 3})
+		_ = n.Attach(1, rec)
+		c, err := n.Run(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Sent != 3 || len(rec.seen) != 3 {
+			t.Fatalf("round %d: sent=%d seen=%v, pooled network not clean", i, c.Sent, rec.seen)
+		}
+		n.Release()
+	}
+}
