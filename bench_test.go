@@ -11,7 +11,10 @@ import (
 	"strconv"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faithful"
+	"repro/internal/scenario"
 )
 
 // mustTable fetches an experiment from the registry and generates its
@@ -70,6 +73,93 @@ func BenchmarkAll(b *testing.B) {
 		tables = len(out)
 	}
 	b.ReportMetric(float64(tables), "tables")
+}
+
+// BenchmarkSuite compiles every scenario of a named suite and drives
+// one honest faithful-protocol run per scenario — the fixed cost a
+// suite sweep pays before any deviation search. The ladder spans the
+// built-in suites that finish in seconds (the 54-scenario "internet"
+// sweep is a manual job, not a bench lane). Published as
+// BENCH_scenario.json with a committed baseline.
+func BenchmarkSuite(b *testing.B) {
+	for _, name := range []string{"smoke", "grid", "workloads"} {
+		s, ok := scenario.LookupSuite(name)
+		if !ok {
+			b.Fatalf("suite %s not registered", name)
+		}
+		b.Run(name, func(b *testing.B) {
+			var msgs float64
+			var scenarios int
+			for i := 0; i < b.N; i++ {
+				specs := s.Specs(1)
+				scenarios = len(specs)
+				msgs = 0
+				for _, sp := range specs {
+					c, err := sp.Compile()
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := faithful.Run(c.FaithfulConfig())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Completed {
+						b.Fatalf("honest run not green-lit on %s", sp.Describe())
+					}
+					msgs += float64(res.Construction.Sent)
+				}
+			}
+			b.ReportMetric(float64(scenarios), "scenarios")
+			b.ReportMetric(msgs, "construction-msgs")
+		})
+	}
+}
+
+// BenchmarkSuiteCheck runs the full two-sided deviation search on one
+// small scenario per Internet-like family — the per-scenario unit of
+// work a faithcheck -suite sweep scales by. Guarded like the other
+// deviation searches: skipped under -short.
+func BenchmarkSuiteCheck(b *testing.B) {
+	if testing.Short() {
+		b.Skip("deviation searches are the slow lane")
+	}
+	specs := []scenario.Spec{
+		{Family: scenario.PrefAttach, N: 6, Seed: 1},
+		{Family: scenario.TwoTier, N: 6, Workload: scenario.WorkloadHotspot, Seed: 1},
+		{Family: scenario.Waxman, N: 6, CostModel: scenario.CostHeavyTailed, Seed: 1},
+	}
+	for _, sp := range specs {
+		sp := sp
+		b.Run(string(sp.Family), func(b *testing.B) {
+			var checked, plainViolations int
+			for i := 0; i < b.N; i++ {
+				c, err := sp.Compile()
+				if err != nil {
+					b.Fatal(err)
+				}
+				plainSys, faithSys := c.Systems()
+				plainRep, err := core.CheckFaithfulness(plainSys, core.Workers(0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				faithRep, err := core.CheckFaithfulness(faithSys, core.Workers(0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Theorem 1 must hold on every scenario; the plain
+				// protocol's manipulability varies with workload and
+				// seed (tiny hotspot scenarios can leave no profitable
+				// deviation), so it is reported, not asserted.
+				if !faithRep.Faithful() {
+					b.Fatalf("%s: faithful spec violated: %v", sp.Describe(), faithRep.Violations)
+				}
+				plainViolations = len(plainRep.Violations)
+				checked = plainRep.Checked + faithRep.Checked
+			}
+			b.ReportMetric(float64(checked), "plays")
+			b.ReportMetric(float64(plainViolations), "plain-violations")
+		})
+	}
 }
 
 // BenchmarkE1Figure1 regenerates Figure 1's lowest-cost paths.

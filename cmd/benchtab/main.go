@@ -1,5 +1,6 @@
 // Command benchtab prints the regenerated experiment tables (E1–E13)
-// from the experiments registry.
+// from the experiments registry, or an honest-run profile of a named
+// scenario suite.
 //
 // Usage:
 //
@@ -8,9 +9,11 @@
 //	benchtab -run 'E1[0-3]'  # a subset by regexp over IDs
 //	benchtab -parallel 4     # cap the worker pool
 //	benchtab -json           # machine-readable tables (BENCH artifacts)
+//	benchtab -suite smoke    # per-scenario honest-run stats for a suite
 //
 // Output is deterministic: tables appear in canonical experiment order
-// and are byte-identical for any -parallel value.
+// and are byte-identical for any -parallel value; suite tables are a
+// pure function of (suite, seed).
 package main
 
 import (
@@ -22,6 +25,8 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/faithful"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -37,8 +42,13 @@ func run(args []string, w io.Writer) error {
 	pattern := fs.String("run", "", "regexp over experiment IDs (case-insensitive, whole-ID); empty = all")
 	parallel := fs.Int("parallel", 0, "worker-pool size; 0 = one per CPU")
 	asJSON := fs.Bool("json", false, "emit tables as JSON instead of aligned text")
+	suite := fs.String("suite", "", "profile a named scenario suite (honest runs) instead of the experiment registry")
+	seed := fs.Int64("seed", 1, "scenario-suite base seed")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *suite != "" {
+		return runSuite(*suite, *seed, *asJSON, w)
 	}
 	exps, err := selectExperiments(*only, *pattern)
 	if err != nil {
@@ -55,6 +65,62 @@ func run(args []string, w io.Writer) error {
 	}
 	for _, t := range tables {
 		fmt.Fprintln(w, experiments.Render(t))
+	}
+	return nil
+}
+
+// runSuite prints one honest faithful-protocol run per scenario of a
+// named suite as an experiments.Table: topology shape, workload size,
+// and the construction-phase message/byte overhead. It is the quick
+// profile of what a suite sweep will cost before committing to the
+// full deviation search (faithcheck -suite).
+func runSuite(name string, seed int64, asJSON bool, w io.Writer) error {
+	s, ok := scenario.LookupSuite(name)
+	if !ok {
+		return fmt.Errorf("unknown suite %q (available: %v)", name, scenario.SuiteNames())
+	}
+	specs := s.Specs(seed)
+	notGreenLit := 0
+	t := &experiments.Table{
+		ID:         "suite:" + s.Name,
+		Title:      fmt.Sprintf("Scenario suite %q (seed %d): honest-run profile", s.Name, seed),
+		PaperClaim: s.Description,
+		Headers:    []string{"scenario", "n", "edges", "avg deg", "flows", "construction msgs", "construction bytes", "green-lit"},
+	}
+	for _, spec := range specs {
+		c, err := spec.Compile()
+		if err != nil {
+			return err
+		}
+		res, err := faithful.Run(c.FaithfulConfig())
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.Describe(), err)
+		}
+		if !res.Completed {
+			notGreenLit++
+		}
+		n := c.Graph.N()
+		t.Rows = append(t.Rows, []string{
+			spec.Describe(), fmt.Sprint(n), fmt.Sprint(c.Graph.M()),
+			fmt.Sprintf("%.1f", float64(2*c.Graph.M())/float64(n)),
+			fmt.Sprint(len(c.Params.Traffic)),
+			fmt.Sprint(res.Construction.Sent), fmt.Sprint(res.Construction.Bytes),
+			fmt.Sprintf("%v", res.Completed),
+		})
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode([]*experiments.Table{t}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintln(w, experiments.Render(t))
+	}
+	// An honest run (no deviator) must always be green-lit; a refusal
+	// means the scenario itself is broken, so exit non-zero for CI.
+	if notGreenLit > 0 {
+		return fmt.Errorf("honest run not green-lit in %d/%d scenarios", notGreenLit, len(specs))
 	}
 	return nil
 }

@@ -1,24 +1,27 @@
 // Command faithcheck runs the ex post Nash deviation search against
-// both protocol variants on a chosen scenario and prints the verdict
-// in the paper's IC/CC/AC vocabulary.
+// both protocol variants and prints the verdict in the paper's
+// IC/CC/AC vocabulary. Scenarios are declared through the scenario
+// layer: a single Spec built from flags, or a whole named Suite.
 //
 // Usage:
 //
-//	faithcheck                     # Figure 1
-//	faithcheck -n 6 -seed 3        # random biconnected scenario
-//	faithcheck -workers 8          # parallel deviation search
-//	faithcheck -first-violation    # stop at the first profitable deviation
+//	faithcheck                                  # Figure 1
+//	faithcheck -n 6 -seed 3                     # random biconnected scenario
+//	faithcheck -topology prefattach -n 16       # an Internet-like family
+//	faithcheck -topology waxman -n 12 -workload hotspot -costs heavy-tailed
+//	faithcheck -suite smoke -seed 1             # sweep a named scenario suite
+//	faithcheck -suite list                      # list available suites
+//	faithcheck -workers 8                       # parallel deviation search
+//	faithcheck -first-violation                 # stop at the first profitable deviation
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/rational"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -30,8 +33,12 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("faithcheck", flag.ContinueOnError)
-	n := fs.Int("n", 0, "random scenario size (0 = Figure 1)")
-	seed := fs.Int64("seed", 1, "rng seed for random scenarios")
+	topology := fs.String("topology", "", "topology family (figure1, clique, ring, ring-chords, random, prefattach, waxman, torus, twotier); empty = figure1, or random when -n is set")
+	n := fs.Int("n", 0, "scenario size (0 = Figure 1)")
+	workload := fs.String("workload", "", "flow workload (all-pairs, hotspot, sparse, gossip); empty = all-pairs")
+	costs := fs.String("costs", "", "cost model (uniform, heavy-tailed, bimodal); empty = family default")
+	suite := fs.String("suite", "", "sweep a named scenario suite instead of a single scenario ('list' prints the available suites)")
+	seed := fs.Int64("seed", 1, "rng seed (single scenario) or suite base seed")
 	workers := fs.Int("workers", 0, "deviation-search pool size (0 = NumCPU, 1 = sequential oracle)")
 	first := fs.Bool("first-violation", false, "stop at the first profitable deviation in catalogue order")
 	if err := fs.Parse(args); err != nil {
@@ -44,31 +51,127 @@ func run(args []string) error {
 	if *first {
 		opts = append(opts, core.EarlyStop())
 	}
-	var g *graph.Graph
-	var err error
-	if *n == 0 {
-		g = graph.Figure1()
-		fmt.Println("scenario: Figure 1")
-	} else {
-		g, err = graph.RandomBiconnected(*n, *n/2, 10, rand.New(rand.NewSource(*seed)))
-		if err != nil {
-			return err
-		}
-		fmt.Printf("scenario: random biconnected n=%d seed=%d\n", *n, *seed)
-	}
-	params := rational.DefaultParams(g)
 
-	plain, err := core.CheckFaithfulness(&rational.PlainSystem{Graph: g, Params: params}, opts...)
+	if *suite != "" {
+		return runSuite(*suite, *seed, opts)
+	}
+
+	spec, err := specFromFlags(*topology, *n, *workload, *costs, *seed)
+	if err != nil {
+		return err
+	}
+	c, err := spec.Compile()
+	if err != nil {
+		return err
+	}
+	fmt.Println("scenario:", spec.Describe())
+	return checkScenario(c, opts)
+}
+
+// specFromFlags maps the single-scenario flags onto a scenario.Spec,
+// preserving the legacy defaults: no flags = Figure 1, a bare -n =
+// random biconnected with n/2 chords.
+func specFromFlags(topology string, n int, workload, costs string, seed int64) (scenario.Spec, error) {
+	spec := scenario.Spec{N: n, Seed: seed}
+	switch {
+	case topology != "":
+		fam, err := scenario.ParseFamily(topology)
+		if err != nil {
+			return spec, err
+		}
+		spec.Family = fam
+	case n == 0:
+		spec.Family = scenario.Figure1
+	default:
+		spec.Family = scenario.Random
+	}
+	if workload != "" {
+		w, err := scenario.ParseWorkload(workload)
+		if err != nil {
+			return spec, err
+		}
+		spec.Workload = w
+	}
+	if costs != "" {
+		cm, err := scenario.ParseCostModel(costs)
+		if err != nil {
+			return spec, err
+		}
+		spec.CostModel = cm
+	}
+	return spec, nil
+}
+
+// checkScenario runs the deviation search against both protocol
+// variants of one compiled scenario.
+func checkScenario(c *scenario.Compiled, opts []core.CheckOption) error {
+	plainSys, faithSys := c.Systems()
+	plain, err := core.CheckFaithfulness(plainSys, opts...)
 	if err != nil {
 		return err
 	}
 	report("plain FPSS", plain)
 
-	faithfulRep, err := core.CheckFaithfulness(&rational.FaithfulSystem{Graph: g, Params: params}, opts...)
+	faithfulRep, err := core.CheckFaithfulness(faithSys, opts...)
 	if err != nil {
 		return err
 	}
 	report("extended (faithful) FPSS", faithfulRep)
+	return nil
+}
+
+// runSuite streams every scenario of a named suite through the
+// worker-pool checker, one summary line per scenario, then a verdict
+// over the whole sweep. Output is deterministic per (suite, seed).
+func runSuite(name string, seed int64, opts []core.CheckOption) error {
+	if name == "list" {
+		for _, s := range scenario.Suites() {
+			fmt.Printf("%-12s %3d scenarios  %s\n", s.Name, len(s.Specs(seed)), s.Description)
+		}
+		return nil
+	}
+	s, ok := scenario.LookupSuite(name)
+	if !ok {
+		return fmt.Errorf("unknown suite %q (available: %v)", name, scenario.SuiteNames())
+	}
+	specs := s.Specs(seed)
+	fmt.Printf("suite %s seed=%d: %d scenarios\n", s.Name, seed, len(specs))
+	plainManipulable, faithfulClean := 0, 0
+	for i, spec := range specs {
+		c, err := spec.Compile()
+		if err != nil {
+			return err
+		}
+		plainSys, faithSys := c.Systems()
+		plainRep, err := core.CheckFaithfulness(plainSys, opts...)
+		if err != nil {
+			return fmt.Errorf("%s: plain: %w", spec.Describe(), err)
+		}
+		faithRep, err := core.CheckFaithfulness(faithSys, opts...)
+		if err != nil {
+			return fmt.Errorf("%s: faithful: %w", spec.Describe(), err)
+		}
+		if len(plainRep.Violations) > 0 {
+			plainManipulable++
+		}
+		if faithRep.Faithful() {
+			faithfulClean++
+		}
+		fmt.Printf("[%d/%d] %s: plain violations=%d, faithful=%v (checked %d plays)\n",
+			i+1, len(specs), spec.Describe(), len(plainRep.Violations), faithRep.Faithful(), faithRep.Checked)
+		for _, v := range faithRep.Violations {
+			fmt.Printf("        faithful violation: %s\n", v)
+		}
+	}
+	fmt.Printf("suite %s: plain FPSS manipulable in %d/%d scenarios; extended spec faithful in %d/%d\n",
+		s.Name, plainManipulable, len(specs), faithfulClean, len(specs))
+	// A faithfulness violation is the sweep's failure mode: exit
+	// non-zero so a CI lane running `faithcheck -suite` actually gates
+	// on Theorem 1 holding across the suite. (Plain-FPSS
+	// manipulability varies by scenario and is reported, not gated.)
+	if faithfulClean < len(specs) {
+		return fmt.Errorf("extended specification violated in %d/%d scenarios", len(specs)-faithfulClean, len(specs))
+	}
 	return nil
 }
 

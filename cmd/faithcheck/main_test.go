@@ -11,8 +11,38 @@ func TestRunRandomScenario(t *testing.T) {
 	}
 }
 
+func TestRunScenarioFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full deviation search")
+	}
+	if err := run([]string{"-topology", "twotier", "-n", "6", "-workload", "hotspot", "-costs", "uniform", "-seed", "3"}); err != nil {
+		t.Fatalf("faithcheck: %v", err)
+	}
+}
+
+func TestRunSuiteList(t *testing.T) {
+	if err := run([]string{"-suite", "list"}); err != nil {
+		t.Fatalf("faithcheck -suite list: %v", err)
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("bad flag should error")
+	}
+}
+
+func TestRunBadScenario(t *testing.T) {
+	cases := [][]string{
+		{"-topology", "mobius"},
+		{"-topology", "torus", "-n", "7"},
+		{"-workload", "flood", "-n", "5"},
+		{"-costs", "normal", "-n", "5"},
+		{"-suite", "no-such-suite"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v should error", args)
+		}
 	}
 }

@@ -4,9 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/faithful"
-	"repro/internal/fpss"
 	"repro/internal/graph"
-	"repro/internal/rational"
+	"repro/internal/scenario"
 )
 
 func init() {
@@ -20,7 +19,6 @@ func init() {
 // Restricting the assignment to k < degree neighbors opens escapes —
 // a principal can cheat toward the unchecked side.
 func E11CheckerAblation(p Params) (*Table, error) {
-	g := graph.Figure1()
 	t := &Table{
 		ID:         "E11",
 		Title:      "Ablation: checker assignment size vs deviation containment",
@@ -28,9 +26,11 @@ func E11CheckerAblation(p Params) (*Table, error) {
 		Headers:    []string{"checkers per principal", "plays", "caught or neutralized", "profitable"},
 	}
 	for _, limit := range []int{0, 2, 1} {
-		params := rationalParams(g, p)
-		params.CheckerLimit = limit
-		sys := &rational.FaithfulSystem{Graph: g, Params: params}
+		sc, err := figure1Scenario(p, limit)
+		if err != nil {
+			return nil, err
+		}
+		sys := sc.FaithfulSystem()
 		base, err := sys.Run(-1, nil)
 		if err != nil {
 			return nil, err
@@ -83,7 +83,11 @@ func E11CheckerAblation(p Params) (*Table, error) {
 // the crashed node) pays the non-progress penalty. Handling mixed
 // failure models is the paper's stated open problem.
 func E12Failstop(Params) (*Table, error) {
-	g := graph.Figure1()
+	sc, err := scenario.Spec{Family: scenario.Figure1}.Compile()
+	if err != nil {
+		return nil, err
+	}
+	g := sc.Graph
 	t := &Table{
 		ID:         "E12",
 		Title:      "Failure-model interplay: failstop node under the faithful protocol",
@@ -92,12 +96,12 @@ func E12Failstop(Params) (*Table, error) {
 	}
 	for i := 0; i < g.N(); i++ {
 		id := graph.NodeID(i)
-		res, err := faithful.Run(faithful.Config{
-			Graph:         g,
-			Strategies:    map[graph.NodeID]*faithful.Strategy{id: {SilentFromPhase2: true}},
-			Traffic:       fpss.AllToAllTraffic(g.N(), 1),
-			DeliveryValue: 10_000,
-		})
+		cfg := sc.FaithfulConfig()
+		// E12 charges crashes only through non-progress, never per
+		// stranded packet — keep the pre-scenario accounting.
+		cfg.UndeliveredPenalty = 0
+		cfg.Strategies = map[graph.NodeID]*faithful.Strategy{id: {SilentFromPhase2: true}}
+		res, err := faithful.Run(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -123,10 +127,12 @@ func E12Failstop(Params) (*Table, error) {
 // a node willing to eat the non-progress penalty can grief everyone —
 // faithfulness targets rational nodes, not malicious ones.
 func E13DamageContainment(p Params) (*Table, error) {
-	g := graph.Figure1()
-	params := rationalParams(g, p)
-	plainSys := &rational.PlainSystem{Graph: g, Params: params}
-	faithSys := &rational.FaithfulSystem{Graph: g, Params: params}
+	sc, err := figure1Scenario(p, 0)
+	if err != nil {
+		return nil, err
+	}
+	g := sc.Graph
+	plainSys, faithSys := sc.Systems()
 	plainBase, err := plainSys.Run(-1, nil)
 	if err != nil {
 		return nil, err

@@ -24,7 +24,7 @@ import (
 	"repro/internal/faithful"
 	"repro/internal/fpss"
 	"repro/internal/graph"
-	"repro/internal/rational"
+	"repro/internal/scenario"
 	"repro/internal/spec"
 )
 
@@ -59,8 +59,12 @@ func init() {
 }
 
 // E1Figure1 regenerates Figure 1 and the §4.1 quoted path costs.
-func E1Figure1(Params) (*Table, error) {
-	g := graph.Figure1()
+func E1Figure1(p Params) (*Table, error) {
+	sc, err := figure1Scenario(p, 0)
+	if err != nil {
+		return nil, err
+	}
+	g := sc.Graph
 	sol, err := fpss.ComputeCentral(g)
 	if err != nil {
 		return nil, err
@@ -98,8 +102,12 @@ func E1Figure1(Params) (*Table, error) {
 // E2Example1 regenerates Example 1: node C's declared cost swept over
 // 1..10, utility under naive declared-cost pricing (manipulable)
 // versus FPSS VCG pricing (strategyproof).
-func E2Example1(Params) (*Table, error) {
-	g := graph.Figure1()
+func E2Example1(p Params) (*Table, error) {
+	sc, err := figure1Scenario(p, 0)
+	if err != nil {
+		return nil, err
+	}
+	g := sc.Graph
 	c, _ := g.ByName("C")
 	t := &Table{
 		ID:         "E2",
@@ -119,23 +127,17 @@ func E2Example1(Params) (*Table, error) {
 		routing := make(map[graph.NodeID]fpss.RoutingTable)
 		pricing := make(map[graph.NodeID]fpss.PricingTable)
 		declaredCosts := make(fpss.CostTable)
-		trueCosts := make(fpss.CostTable)
 		for id, node := range res.Nodes {
 			routing[id] = node.Routing()
 			pricing[id] = node.Pricing()
 			declaredCosts[id] = node.DeclaredCost()
-			trueCosts[id] = g.Cost(id)
 		}
 		var util [2]int64
 		for i, scheme := range []fpss.PricingScheme{fpss.SchemeDeclaredCost, fpss.SchemeVCG} {
-			exec, err := fpss.Execute(routing, pricing, fpss.ExecConfig{
-				TrueCosts:          trueCosts,
-				DeclaredCosts:      declaredCosts,
-				Traffic:            fpss.AllToAllTraffic(g.N(), 1),
-				DeliveryValue:      10_000,
-				UndeliveredPenalty: 10_000,
-				Scheme:             scheme,
-			})
+			ec := sc.ExecConfig()
+			ec.DeclaredCosts = declaredCosts
+			ec.Scheme = scheme
+			exec, err := fpss.Execute(routing, pricing, ec)
 			if err != nil {
 				return nil, err
 			}
@@ -155,9 +157,11 @@ func E2Example1(Params) (*Table, error) {
 // every node; the extended specification must detect (or neutralize)
 // each one, with zero false positives on honest runs.
 func E3Detection(p Params) (*Table, error) {
-	g := graph.Figure1()
-	params := rationalParams(g, p)
-	sys := &rational.FaithfulSystem{Graph: g, Params: params}
+	sc, err := figure1Scenario(p, 0)
+	if err != nil {
+		return nil, err
+	}
+	sys := sc.FaithfulSystem()
 	base, err := sys.Run(-1, nil)
 	if err != nil {
 		return nil, err
@@ -223,10 +227,11 @@ func E4Overhead(p Params) (*Table, error) {
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	for _, n := range p.Sizes {
-		g, err := graph.RingWithChords(n, n/2, 10, rng)
+		sc, err := scenario.Spec{Family: scenario.RingChords, N: n, ExtraEdges: scenario.Chords(n / 2)}.BuildWith(rng)
 		if err != nil {
 			return nil, err
 		}
+		g := sc.Graph
 		plain, err := fpss.Run(fpss.Config{Graph: g})
 		if err != nil {
 			return nil, err
@@ -266,10 +271,11 @@ func E5BFTBaseline(p Params) (*Table, error) {
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	for _, n := range p.Sizes {
-		g, err := graph.RingWithChords(n, n/3, 10, rng)
+		sc, err := scenario.Spec{Family: scenario.RingChords, N: n, ExtraEdges: scenario.Chords(n / 3)}.BuildWith(rng)
 		if err != nil {
 			return nil, err
 		}
+		g := sc.Graph
 		fr, err := faithful.Run(faithful.Config{Graph: g, Traffic: fpss.Traffic{}, DeliveryValue: 1})
 		if err != nil {
 			return nil, err
@@ -318,30 +324,37 @@ func E6Faithfulness(p Params) (*Table, error) {
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	for trial := 0; trial < p.Trials; trial++ {
-		var g *graph.Graph
+		var sc *scenario.Compiled
 		var err error
 		if trial == 0 {
-			g = graph.Figure1()
+			sc, err = figure1Scenario(p, 0)
 		} else {
-			g, err = graph.RandomBiconnected(4+rng.Intn(3), rng.Intn(4), 8, rng)
-			if err != nil {
-				return nil, err
-			}
+			// Sizes and chord counts are drawn from the shared trial
+			// stream, exactly as the pre-scenario code did, so the
+			// sampled profiles stay byte-identical per seed.
+			n := 4 + rng.Intn(3)
+			chords := scenario.Chords(rng.Intn(4))
+			sc, err = scenario.Spec{
+				Family: scenario.Random, N: n, ExtraEdges: chords, MaxCost: 8, Scheme: p.Scheme,
+			}.BuildWith(rng)
 		}
-		params := rationalParams(g, p)
-		// The rational systems tolerate concurrent Run calls, so the
-		// deviation search fans over the NumCPU pool; the report is
-		// byte-identical to the sequential oracle for any worker count.
-		plainRep, err := core.CheckFaithfulness(&rational.PlainSystem{Graph: g, Params: params}, core.Workers(0))
 		if err != nil {
 			return nil, err
 		}
-		faithRep, err := core.CheckFaithfulness(&rational.FaithfulSystem{Graph: g, Params: params}, core.Workers(0))
+		plainSys, faithSys := sc.Systems()
+		// The rational systems tolerate concurrent Run calls, so the
+		// deviation search fans over the NumCPU pool; the report is
+		// byte-identical to the sequential oracle for any worker count.
+		plainRep, err := core.CheckFaithfulness(plainSys, core.Workers(0))
+		if err != nil {
+			return nil, err
+		}
+		faithRep, err := core.CheckFaithfulness(faithSys, core.Workers(0))
 		if err != nil {
 			return nil, err
 		}
 		t.Rows = append(t.Rows, []string{
-			itoa(int64(trial)), itoa(int64(g.N())), itoa(int64(faithRep.Checked)),
+			itoa(int64(trial)), itoa(int64(sc.Graph.N())), itoa(int64(faithRep.Checked)),
 			itoa(int64(len(plainRep.Violations))), flags(plainRep),
 			itoa(int64(len(faithRep.Violations))), flags(faithRep),
 		})
@@ -349,14 +362,17 @@ func E6Faithfulness(p Params) (*Table, error) {
 	return t, nil
 }
 
-// rationalParams builds deviation-search parameters for a graph,
-// honoring a Params-level pricing-scheme override.
-func rationalParams(g *graph.Graph, p Params) rational.Params {
-	params := rational.DefaultParams(g)
-	if p.Scheme != 0 {
-		params.Scheme = p.Scheme
-	}
-	return params
+// figure1Scenario compiles the paper's Figure-1 scenario, honoring a
+// Params-level pricing-scheme override and an optional checker limit.
+// Every Figure-1 experiment gets its graph and deviation-search
+// parameters from here — scenario construction lives in
+// internal/scenario, not in individual generators.
+func figure1Scenario(p Params, checkerLimit int) (*scenario.Compiled, error) {
+	return scenario.Spec{
+		Family:       scenario.Figure1,
+		Scheme:       p.Scheme,
+		CheckerLimit: checkerLimit,
+	}.Compile()
 }
 
 func flags(r core.Report) string {
@@ -411,10 +427,13 @@ func E8Election(p Params) (*Table, error) {
 	correctNaive, correctFaithful := 0, 0
 	for trial := 0; trial < p.Trials; trial++ {
 		n := 4 + rng.Intn(4)
-		topoG, err := graph.RandomBiconnected(n, rng.Intn(n), 5, rng)
+		sc, err := scenario.Spec{
+			Family: scenario.Random, N: n, ExtraEdges: scenario.Chords(rng.Intn(n)), MaxCost: 5,
+		}.BuildWith(rng)
 		if err != nil {
 			return nil, err
 		}
+		topoG := sc.Graph
 		powers := make([]int64, n)
 		best := 0
 		for i := range powers {
@@ -478,10 +497,11 @@ func E9Convergence(p Params) (*Table, error) {
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	for _, n := range p.Sizes {
-		g, err := graph.RingWithChords(n, n/2, 10, rng)
+		sc, err := scenario.Spec{Family: scenario.RingChords, N: n, ExtraEdges: scenario.Chords(n / 2)}.BuildWith(rng)
 		if err != nil {
 			return nil, err
 		}
+		g := sc.Graph
 		res, err := fpss.Run(fpss.Config{Graph: g})
 		if err != nil {
 			return nil, err
@@ -505,15 +525,13 @@ func E9Convergence(p Params) (*Table, error) {
 // (Remark 5): payment misreports are settled and penalized ε-above,
 // making fraud strictly unprofitable.
 func E10Execution(Params) (*Table, error) {
-	g := graph.Figure1()
-	x, _ := g.ByName("X")
-	base := faithful.Config{
-		Graph:              g,
-		Traffic:            fpss.AllToAllTraffic(g.N(), 2),
-		DeliveryValue:      10_000,
-		UndeliveredPenalty: 10_000,
-		Epsilon:            1,
+	sc, err := scenario.Spec{Family: scenario.Figure1, Packets: 2}.Compile()
+	if err != nil {
+		return nil, err
 	}
+	g := sc.Graph
+	x, _ := g.ByName("X")
+	base := sc.FaithfulConfig()
 	honest, err := faithful.Run(base)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,294 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file holds the Internet-like topology families behind the
+// scenario layer. Each generator takes a CostFn — a pluggable per-node
+// transit-cost distribution — and a caller-owned rng, draws structure
+// first and costs second (in ascending node-ID order), and returns a
+// biconnected graph: families whose raw structure can violate the FPSS
+// biconnectivity assumption are passed through RepairBiconnected. For
+// a fixed rng seed every generator is fully deterministic.
+
+// CostFn draws one per-node transit cost. Generators call it once per
+// node, in node-ID order, after all structural randomness, so a cost
+// distribution never perturbs the topology drawn for a given seed.
+type CostFn func(rng *rand.Rand) Cost
+
+// UniformCost draws uniformly from [1, max] — the distribution the
+// classic generators (Ring, RandomBiconnected) bake in.
+func UniformCost(max Cost) CostFn {
+	if max < 1 {
+		max = 1
+	}
+	return func(rng *rand.Rand) Cost { return 1 + Cost(rng.Int63n(int64(max))) }
+}
+
+// HeavyTailedCost draws from a discretized Pareto distribution with
+// the given minimum and tail index alpha (smaller alpha ⇒ heavier
+// tail), capped at 1000·min so VCG payments stay within int64 on any
+// workload. It models the skewed transit-cost spread of real ASes: a
+// few very expensive carriers among many cheap ones.
+func HeavyTailedCost(min Cost, alpha float64) CostFn {
+	if min < 1 {
+		min = 1
+	}
+	if alpha <= 0 {
+		alpha = 1.5
+	}
+	cap := int64(min) * 1000
+	return func(rng *rand.Rand) Cost {
+		u := 1 - rng.Float64() // (0, 1]: keeps the tail finite
+		c := int64(float64(min) / math.Pow(u, 1/alpha))
+		if c < int64(min) {
+			c = int64(min)
+		}
+		if c > cap {
+			c = cap
+		}
+		return Cost(c)
+	}
+}
+
+// BimodalCost mixes an honest/cheap population (uniform on
+// [1, cheapMax]) with an expensive one (uniform on
+// [expensiveMin, 2·expensiveMin)), choosing expensive with probability
+// pExpensive. It is the sharpest stress for VCG pricing: lowest-cost
+// paths thread the cheap mode while marginal (avoid-k) paths are
+// forced through the expensive one.
+func BimodalCost(cheapMax, expensiveMin Cost, pExpensive float64) CostFn {
+	if cheapMax < 1 {
+		cheapMax = 1
+	}
+	if expensiveMin < 1 {
+		expensiveMin = 1
+	}
+	return func(rng *rand.Rand) Cost {
+		if rng.Float64() < pExpensive {
+			return expensiveMin + Cost(rng.Int63n(int64(expensiveMin)))
+		}
+		return 1 + Cost(rng.Int63n(int64(cheapMax)))
+	}
+}
+
+// assignCosts draws one cost per node in ascending ID order; nil falls
+// back to the classic uniform [1,10].
+func assignCosts(g *Graph, cost CostFn, rng *rand.Rand) {
+	if cost == nil {
+		cost = UniformCost(10)
+	}
+	for i := 0; i < g.N(); i++ {
+		_ = g.SetCost(NodeID(i), cost(rng))
+	}
+}
+
+// components returns the connected components, each listed in BFS
+// discovery order starting from its minimum node ID, with `skip`
+// (pass -1 for none) treated as removed from the graph.
+func (g *Graph) components(skip NodeID) [][]NodeID {
+	n := g.N()
+	seen := make([]bool, n)
+	if skip >= 0 && int(skip) < n {
+		seen[skip] = true
+	}
+	var comps [][]NodeID
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		comp := []NodeID{NodeID(s)}
+		seen[s] = true
+		for i := 0; i < len(comp); i++ {
+			for _, v := range g.AdjView(comp[i]) {
+				if !seen[v] {
+					seen[v] = true
+					comp = append(comp, v)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// RepairBiconnected adds the minimum-ID bridging edges needed to make
+// the graph biconnected: first it chains disconnected components
+// together, then it repeatedly splices the two lowest components of
+// g−a for the first remaining articulation point a. The repair is
+// deterministic (no randomness) and a no-op on graphs that are already
+// biconnected, so generators can apply it unconditionally.
+func RepairBiconnected(g *Graph) error {
+	if g.N() < 3 {
+		return fmt.Errorf("graph: biconnectivity needs n >= 3, got %d", g.N())
+	}
+	for {
+		comps := g.components(-1)
+		if len(comps) <= 1 {
+			break
+		}
+		_ = g.AddEdge(comps[0][0], comps[1][0])
+	}
+	for {
+		arts := g.ArticulationPoints()
+		if len(arts) == 0 {
+			return nil
+		}
+		comps := g.components(arts[0])
+		// Two nodes in different components of g−a are never already
+		// adjacent, so each splice adds a genuinely new edge and the
+		// loop terminates within the edge budget.
+		_ = g.AddEdge(comps[0][0], comps[1][0])
+	}
+}
+
+// PreferentialAttachment builds a Barabási–Albert-style scale-free
+// graph: a seed clique on m+1 nodes, then each new node attaches to m
+// distinct existing nodes chosen proportionally to degree. m = 1
+// yields a tree and sparse draws can leave cut vertices, so the result
+// is passed through RepairBiconnected. Degree distributions come out
+// heavy-tailed, like AS-level Internet maps.
+func PreferentialAttachment(n, m int, cost CostFn, rng *rand.Rand) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: preferential attachment needs n >= 3, got %d", n)
+	}
+	if m < 1 || m >= n {
+		return nil, fmt.Errorf("graph: attachment degree must satisfy 1 <= m < n, got m=%d n=%d", m, n)
+	}
+	g := New(n)
+	// targets holds each node once per incident edge endpoint, so a
+	// uniform draw from it is a degree-proportional draw.
+	targets := make([]NodeID, 0, 2*(m*(m+1)/2+(n-m-1)*m))
+	core := m + 1
+	for i := 0; i < core; i++ {
+		for j := i + 1; j < core; j++ {
+			_ = g.AddEdge(NodeID(i), NodeID(j))
+			targets = append(targets, NodeID(i), NodeID(j))
+		}
+	}
+	chosen := make([]NodeID, 0, m)
+	for v := core; v < n; v++ {
+		chosen = chosen[:0]
+		for len(chosen) < m {
+			t := targets[rng.Intn(len(targets))]
+			dup := false
+			for _, c := range chosen {
+				if c == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, t)
+			}
+		}
+		for _, t := range chosen {
+			_ = g.AddEdge(NodeID(v), t)
+			targets = append(targets, NodeID(v), t)
+		}
+	}
+	if err := RepairBiconnected(g); err != nil {
+		return nil, err
+	}
+	assignCosts(g, cost, rng)
+	return g, nil
+}
+
+// Waxman builds the classic geometric random graph: nodes placed
+// uniformly in the unit square, each pair connected with probability
+// alpha·exp(−d/(beta·L)) where d is Euclidean distance and L = √2 the
+// maximal distance. Larger alpha raises edge density overall; larger
+// beta raises the share of long-haul links. Sparse draws disconnect,
+// so the result is passed through RepairBiconnected.
+func Waxman(n int, alpha, beta float64, cost CostFn, rng *rand.Rand) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: waxman needs n >= 3, got %d", n)
+	}
+	if alpha <= 0 || alpha > 1 || beta <= 0 {
+		return nil, fmt.Errorf("graph: waxman needs 0 < alpha <= 1 and beta > 0, got alpha=%g beta=%g", alpha, beta)
+	}
+	g := New(n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	scale := beta * math.Sqrt2
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			d := math.Hypot(xs[u]-xs[v], ys[u]-ys[v])
+			if rng.Float64() < alpha*math.Exp(-d/scale) {
+				_ = g.AddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	if err := RepairBiconnected(g); err != nil {
+		return nil, err
+	}
+	assignCosts(g, cost, rng)
+	return g, nil
+}
+
+// Torus builds the rows×cols wrap-around grid: node (r,c) connects to
+// (r,c±1 mod cols) and (r±1 mod rows, c). Both dimensions must be at
+// least 3 (smaller wraps collapse into duplicate edges). A torus is
+// 4-regular and biconnected by construction — the high-diameter,
+// constant-degree counterpoint to the scale-free families.
+func Torus(rows, cols int, cost CostFn, rng *rand.Rand) (*Graph, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("graph: torus needs rows, cols >= 3, got %dx%d", rows, cols)
+	}
+	g := New(rows * cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			_ = g.AddEdge(id(r, c), id(r, (c+1)%cols))
+			_ = g.AddEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	assignCosts(g, cost, rng)
+	return g, nil
+}
+
+// TwoTier builds a clustered "AS" topology: `clusters` cluster heads
+// joined in a core ring, each head fronting a cycle of `size` member
+// nodes (IDs c·size … c·size+size−1, head first), plus one uplink from
+// a random non-head member of every cluster to the head of a random
+// other cluster — so no head is a single point of articulation. The
+// result is passed through RepairBiconnected for the small sizes where
+// the uplinks alone don't suffice.
+func TwoTier(clusters, size int, cost CostFn, rng *rand.Rand) (*Graph, error) {
+	if clusters < 3 {
+		return nil, fmt.Errorf("graph: two-tier needs >= 3 clusters, got %d", clusters)
+	}
+	if size < 2 {
+		return nil, fmt.Errorf("graph: two-tier needs cluster size >= 2, got %d", size)
+	}
+	g := New(clusters * size)
+	head := func(c int) NodeID { return NodeID(c * size) }
+	for c := 0; c < clusters; c++ {
+		_ = g.AddEdge(head(c), head((c+1)%clusters))
+		// Cluster cycle through the head; size 2 degenerates to a
+		// single head–member edge.
+		for i := 0; i < size-1; i++ {
+			_ = g.AddEdge(NodeID(c*size+i), NodeID(c*size+i+1))
+		}
+		if size > 2 {
+			_ = g.AddEdge(NodeID(c*size+size-1), head(c))
+		}
+	}
+	for c := 0; c < clusters; c++ {
+		member := NodeID(c*size + 1 + rng.Intn(size-1))
+		other := (c + 1 + rng.Intn(clusters-1)) % clusters
+		_ = g.AddEdge(member, head(other))
+	}
+	if err := RepairBiconnected(g); err != nil {
+		return nil, err
+	}
+	assignCosts(g, cost, rng)
+	return g, nil
+}

@@ -79,6 +79,15 @@ func (s *scenario) init(g *graph.Graph, p Params, forFaithful bool) {
 	})
 }
 
+// Systems builds the plain and faithful System pair for one scenario:
+// the same graph and economic parameters played against the original
+// FPSS protocol and against the paper's extended specification. This
+// is the constructor the scenario layer compiles into — prefer it to
+// struct literals so both sides are guaranteed to share one setup.
+func Systems(g *graph.Graph, p Params) (*PlainSystem, *FaithfulSystem) {
+	return &PlainSystem{Graph: g, Params: p}, &FaithfulSystem{Graph: g, Params: p}
+}
+
 // PlainSystem plays deviations against the *original* FPSS protocol:
 // obedient network assumed by FPSS, no checkers, accounting that
 // trusts reported payments. It implements core.System; Run is safe

@@ -1,0 +1,194 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Suite is a named cross-product of scenario axes: every combination
+// of Families × Sizes × Workloads × CostModels becomes one Spec.
+// Suites are seed-parameterized — Specs(seed) derives a distinct,
+// stable per-scenario seed from the base seed and the scenario's
+// identity, so a suite sweep is reproducible from one number and a
+// scenario keeps its seed even when the suite definition is reordered
+// or extended.
+type Suite struct {
+	// Name identifies the suite (faithcheck -suite <name>).
+	Name string
+	// Description is a one-liner for listings.
+	Description string
+	// Families / Sizes / Workloads / CostModels are the cross-product
+	// axes. Every combination must be valid (e.g. sizes must factor
+	// for Torus/TwoTier members); Specs surfaces the first invalid
+	// combination as an error from Compile.
+	Families   []Family
+	Sizes      []int
+	Workloads  []Workload
+	CostModels []CostModel
+	// Packets / CheckerLimit are applied uniformly to every Spec.
+	Packets      int64
+	CheckerLimit int
+}
+
+// Specs expands the cross product in deterministic order: family
+// outermost, then size, workload, cost model. Combinations that
+// collapse to the same scenario (Figure1 ignores the size and
+// cost-model axes) are emitted once, not once per collapsed axis
+// value.
+func (s Suite) Specs(seed int64) []Spec {
+	specs := make([]Spec, 0, len(s.Families)*len(s.Sizes)*len(s.Workloads)*len(s.CostModels))
+	seen := make(map[string]bool)
+	for _, fam := range s.Families {
+		for _, n := range s.Sizes {
+			for _, w := range s.Workloads {
+				for _, cm := range s.CostModels {
+					sp := Spec{
+						Family:       fam,
+						N:            n,
+						Workload:     w,
+						CostModel:    cm,
+						Packets:      s.Packets,
+						CheckerLimit: s.CheckerLimit,
+					}
+					if fam == Figure1 {
+						// Figure1 is fixed-size with fixed costs; the
+						// size and cost-model axes don't apply.
+						sp.N, sp.CostModel = 0, CostDefault
+					}
+					sp.Seed = deriveSeed(seed, sp)
+					if seen[sp.Describe()] {
+						continue
+					}
+					seen[sp.Describe()] = true
+					specs = append(specs, sp)
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// deriveSeed mixes the base seed with the scenario's identity (its
+// Describe label minus the seed part) through FNV-1a + splitmix64.
+// Identity-keyed derivation means "prefattach n=24 hotspot heavy" gets
+// the same seed under base seed 1 in every suite that contains it.
+func deriveSeed(base int64, sp Spec) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(sp.Describe()))
+	mixed := splitmix64(uint64(base) ^ h.Sum64())
+	// Keep seeds positive and nonzero: rand.NewSource accepts any
+	// int64, but positive reads better in labels and never collides
+	// with the "unset" zero.
+	return int64(mixed%((1<<62)-1)) + 1
+}
+
+// splitmix64 is the classic 64-bit finalizer (Steele et al.), enough
+// to decorrelate neighboring identities.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+var (
+	suiteMu sync.RWMutex
+	suites  = map[string]Suite{}
+)
+
+// RegisterSuite adds a named suite; duplicate names and empty axes are
+// programmer errors and panic at init time (mirrors the experiments
+// registry).
+func RegisterSuite(s Suite) {
+	if s.Name == "" || len(s.Families) == 0 || len(s.Sizes) == 0 ||
+		len(s.Workloads) == 0 || len(s.CostModels) == 0 {
+		panic("scenario: RegisterSuite needs a name and non-empty axes")
+	}
+	key := strings.ToLower(s.Name)
+	suiteMu.Lock()
+	defer suiteMu.Unlock()
+	if _, dup := suites[key]; dup {
+		panic(fmt.Sprintf("scenario: duplicate suite %s", s.Name))
+	}
+	suites[key] = s
+}
+
+// LookupSuite finds a suite by name (case-insensitive).
+func LookupSuite(name string) (Suite, bool) {
+	suiteMu.RLock()
+	defer suiteMu.RUnlock()
+	s, ok := suites[strings.ToLower(name)]
+	return s, ok
+}
+
+// SuiteNames lists the registered suite names sorted — for
+// unknown-suite error messages and listings.
+func SuiteNames() []string {
+	all := Suites()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Suites lists every registered suite sorted by name.
+func Suites() []Suite {
+	suiteMu.RLock()
+	out := make([]Suite, 0, len(suites))
+	for _, s := range suites {
+		out = append(out, s)
+	}
+	suiteMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func init() {
+	// smoke: the CI lane — small sizes, one cost model, finishes in
+	// tens of seconds with the parallel checker.
+	RegisterSuite(Suite{
+		Name:        "smoke",
+		Description: "CI smoke: 3 families × n∈{6,8} × 2 workloads, uniform costs",
+		Families:    []Family{Random, PrefAttach, TwoTier},
+		Sizes:       []int{6, 8},
+		Workloads:   []Workload{WorkloadAllPairs, WorkloadHotspot},
+		CostModels:  []CostModel{CostUniform},
+	})
+	// internet: the headline sweep — every Internet-like family under
+	// every cost model and the asymmetric workloads.
+	RegisterSuite(Suite{
+		Name:        "internet",
+		Description: "Internet-like families × all cost models × asymmetric workloads",
+		Families:    []Family{PrefAttach, Waxman, TwoTier},
+		Sizes:       []int{12, 24},
+		Workloads:   []Workload{WorkloadAllPairs, WorkloadHotspot, WorkloadSparse},
+		CostModels:  []CostModel{CostUniform, CostHeavyTailed, CostBimodal},
+	})
+	// grid: the constant-degree, high-diameter counterpoint. Sizes
+	// stay ≤ 12: an all-pairs torus deviation search is ~10 s at n=9
+	// and ~85 s at n=12 on one core, and n=16 would push a sweep past
+	// the hour — larger grids wait on further search parallelization
+	// (see ROADMAP open items).
+	RegisterSuite(Suite{
+		Name:        "grid",
+		Description: "Torus grids under gossip and all-pairs demand",
+		Families:    []Family{Torus},
+		Sizes:       []int{9, 12},
+		Workloads:   []Workload{WorkloadAllPairs, WorkloadGossip},
+		CostModels:  []CostModel{CostUniform, CostBimodal},
+	})
+	// workloads: one topology, every workload × cost model — isolates
+	// the demand-matrix axis.
+	RegisterSuite(Suite{
+		Name:        "workloads",
+		Description: "Fixed random topology, every workload × cost model",
+		Families:    []Family{Random},
+		Sizes:       []int{8},
+		Workloads:   []Workload{WorkloadAllPairs, WorkloadHotspot, WorkloadSparse, WorkloadGossip},
+		CostModels:  []CostModel{CostUniform, CostHeavyTailed, CostBimodal},
+	})
+}
