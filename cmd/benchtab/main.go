@@ -24,9 +24,11 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/churn"
 	"repro/internal/experiments"
 	"repro/internal/faithful"
 	"repro/internal/scenario"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -88,24 +90,19 @@ func runSuite(name string, seed int64, asJSON bool, w io.Writer) error {
 		Headers:    []string{"scenario", "n", "edges", "avg deg", "flows", "construction msgs", "construction bytes", "green-lit"},
 	}
 	for _, spec := range specs {
-		c, err := spec.Compile()
+		p, err := profileSpec(spec)
 		if err != nil {
 			return err
 		}
-		res, err := faithful.Run(c.FaithfulConfig())
-		if err != nil {
-			return fmt.Errorf("%s: %w", spec.Describe(), err)
-		}
-		if !res.Completed {
+		if !p.completed {
 			notGreenLit++
 		}
-		n := c.Graph.N()
 		t.Rows = append(t.Rows, []string{
-			spec.Describe(), fmt.Sprint(n), fmt.Sprint(c.Graph.M()),
-			fmt.Sprintf("%.1f", float64(2*c.Graph.M())/float64(n)),
-			fmt.Sprint(len(c.Params.Traffic)),
-			fmt.Sprint(res.Construction.Sent), fmt.Sprint(res.Construction.Bytes),
-			fmt.Sprintf("%v", res.Completed),
+			spec.Describe(), fmt.Sprint(p.n), fmt.Sprint(p.edges),
+			fmt.Sprintf("%.1f", float64(2*p.edges)/float64(p.n)),
+			fmt.Sprint(p.flows),
+			fmt.Sprint(p.construction.Sent), fmt.Sprint(p.construction.Bytes),
+			fmt.Sprintf("%v", p.completed),
 		})
 	}
 	if asJSON {
@@ -123,6 +120,60 @@ func runSuite(name string, seed int64, asJSON bool, w io.Writer) error {
 		return fmt.Errorf("honest run not green-lit in %d/%d scenarios", notGreenLit, len(specs))
 	}
 	return nil
+}
+
+// profile is one suite row: topology shape (epoch 0 for dynamic
+// scenarios), total flow count and construction overhead — summed
+// across every epoch of a churn timeline, so the row prices the whole
+// sweep, not just its first epoch.
+type profile struct {
+	n, edges     int
+	flows        int
+	construction sim.Counters
+	completed    bool
+}
+
+// profileSpec drives the honest protocol for one spec: a single run
+// for static specs, one run per epoch for dynamic ones (counters
+// aggregated with sim.Counters.Add).
+func profileSpec(spec scenario.Spec) (profile, error) {
+	if !spec.Churn.Dynamic() {
+		c, err := spec.Compile()
+		if err != nil {
+			return profile{}, err
+		}
+		res, err := faithful.Run(c.FaithfulConfig())
+		if err != nil {
+			return profile{}, fmt.Errorf("%s: %w", spec.Describe(), err)
+		}
+		return profile{
+			n: c.Graph.N(), edges: c.Graph.M(),
+			flows:        len(c.Params.Traffic),
+			construction: res.Construction,
+			completed:    res.Completed,
+		}, nil
+	}
+	tl, err := churn.Build(spec)
+	if err != nil {
+		return profile{}, err
+	}
+	p := profile{
+		n:     tl.Epochs[0].Compiled.Graph.N(),
+		edges: tl.Epochs[0].Compiled.Graph.M(),
+	}
+	p.completed = true
+	for _, e := range tl.Epochs {
+		res, err := faithful.Run(e.Compiled.FaithfulConfig())
+		if err != nil {
+			return profile{}, fmt.Errorf("%s epoch %d: %w", spec.Describe(), e.Index+1, err)
+		}
+		if !res.Completed {
+			p.completed = false
+		}
+		p.flows += len(e.Compiled.Params.Traffic)
+		p.construction.Add(res.Construction)
+	}
+	return p, nil
 }
 
 // selectExperiments resolves the -e ID list and the -run regexp

@@ -13,6 +13,15 @@
 //	faithcheck -suite list                      # list available suites
 //	faithcheck -workers 8                       # parallel deviation search
 //	faithcheck -first-violation                 # stop at the first profitable deviation
+//	faithcheck -n 8 -epochs 3                   # churn: replay the grid per epoch
+//	faithcheck -suite churn -seed 1             # the epoch-dynamics suite
+//
+// With -epochs > 1 (or a suite whose specs carry a churn axis) the
+// scenario becomes a timeline: nodes join and leave between
+// construction phases, and the deviation grid — including the
+// epoch-boundary deviations (stale catalogues, leave-without-settling,
+// identity whitewashing) — is replayed per epoch through the same
+// worker pool.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/churn"
 	"repro/internal/core"
 	"repro/internal/scenario"
 )
@@ -41,9 +51,23 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "rng seed (single scenario) or suite base seed")
 	workers := fs.Int("workers", 0, "deviation-search pool size (0 = NumCPU, 1 = sequential oracle)")
 	first := fs.Bool("first-violation", false, "stop at the first profitable deviation in catalogue order")
+	epochs := fs.Int("epochs", 1, "churn: number of epochs (1 = static)")
+	joins := fs.Int("joins", 1, "churn: node arrivals per epoch boundary")
+	leaves := fs.Int("leaves", 1, "churn: node departures per epoch boundary")
+	redraw := fs.Float64("redraw", 0.25, "churn: per-boundary cost re-draw probability for surviving nodes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Churn flags must never be silently ignored — a static result
+	// masquerading as a dynamics result is worse than an error. Track
+	// which were explicitly set.
+	churnFlags := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "epochs", "joins", "leaves", "redraw":
+			churnFlags[f.Name] = true
+		}
+	})
 	var opts []core.CheckOption
 	if *workers != 1 {
 		opts = append(opts, core.Workers(*workers))
@@ -53,12 +77,35 @@ func run(args []string) error {
 	}
 
 	if *suite != "" {
+		// A suite's churn axis comes from its definition.
+		if len(churnFlags) > 0 {
+			return fmt.Errorf("churn flags (-epochs/-joins/-leaves/-redraw) apply to single scenarios; suites define their own churn axis (try -suite churn)")
+		}
 		return runSuite(*suite, *seed, opts)
+	}
+	if churnFlags["epochs"] && *epochs < 1 {
+		return fmt.Errorf("-epochs must be >= 1, got %d", *epochs)
+	}
+	if *epochs <= 1 && (churnFlags["joins"] || churnFlags["leaves"] || churnFlags["redraw"]) {
+		return fmt.Errorf("-joins/-leaves/-redraw take effect only with -epochs > 1")
+	}
+	if *epochs > 1 {
+		if *joins < 0 || *leaves < 0 {
+			return fmt.Errorf("-joins/-leaves must be >= 0, got %d/%d", *joins, *leaves)
+		}
+		if *redraw < 0 || *redraw > 1 {
+			return fmt.Errorf("-redraw is a probability, got %g", *redraw)
+		}
 	}
 
 	spec, err := specFromFlags(*topology, *n, *workload, *costs, *seed)
 	if err != nil {
 		return err
+	}
+	if *epochs > 1 {
+		spec.Churn = scenario.Churn{Epochs: *epochs, Joins: *joins, Leaves: *leaves, RedrawFraction: *redraw}
+		fmt.Println("scenario:", spec.Describe())
+		return checkChurnScenario(spec, opts)
 	}
 	c, err := spec.Compile()
 	if err != nil {
@@ -120,6 +167,60 @@ func checkScenario(c *scenario.Compiled, opts []core.CheckOption) error {
 	return nil
 }
 
+// churnReports builds the timeline for a dynamic spec and runs the
+// per-epoch deviation search against both protocol variants — the one
+// sequence the single-scenario and suite paths share. The faithful
+// System is returned alive so callers can read its honest ledger.
+func churnReports(sp scenario.Spec, opts []core.CheckOption) (*churn.Timeline, core.Report, core.Report, *churn.System, error) {
+	tl, err := churn.Build(sp)
+	if err != nil {
+		return nil, core.Report{}, core.Report{}, nil, err
+	}
+	opts = append(append([]core.CheckOption{}, opts...), core.PerEpoch())
+	plainRep, err := core.CheckFaithfulness(churn.NewSystem(tl, churn.Plain), opts...)
+	if err != nil {
+		return nil, core.Report{}, core.Report{}, nil, fmt.Errorf("%s: plain: %w", sp.Describe(), err)
+	}
+	faithSys := churn.NewSystem(tl, churn.Faithful)
+	faithRep, err := core.CheckFaithfulness(faithSys, opts...)
+	if err != nil {
+		return nil, core.Report{}, core.Report{}, nil, fmt.Errorf("%s: faithful: %w", sp.Describe(), err)
+	}
+	return tl, plainRep, faithRep, faithSys, nil
+}
+
+// checkChurnScenario is the verbose single-scenario churn path: the
+// membership timeline, both reports, and the honest ledger.
+func checkChurnScenario(sp scenario.Spec, opts []core.CheckOption) error {
+	tl, plainRep, faithRep, faithSys, err := churnReports(sp, opts)
+	if err != nil {
+		return err
+	}
+	for _, e := range tl.Epochs {
+		if e.Index == 0 {
+			fmt.Printf("epoch 1: n=%d\n", e.N())
+			continue
+		}
+		fmt.Printf("epoch %d: n=%d joined=%v left=%v\n", e.Index+1, e.N(), e.Joined, e.Left)
+	}
+	report("plain FPSS", plainRep)
+	report("extended (faithful) FPSS", faithRep)
+
+	ledger, err := faithSys.Ledger()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nhonest carry-forward ledger (extended spec):")
+	for _, acct := range ledger.Accounts() {
+		status := "open"
+		if ledger.Settled(acct) {
+			status = "settled"
+		}
+		fmt.Printf("  identity %d: balance=%d (%s)\n", acct, ledger.Balance(acct), status)
+	}
+	return nil
+}
+
 // runSuite streams every scenario of a named suite through the
 // worker-pool checker, one summary line per scenario, then a verdict
 // over the whole sweep. Output is deterministic per (suite, seed).
@@ -138,18 +239,25 @@ func runSuite(name string, seed int64, opts []core.CheckOption) error {
 	fmt.Printf("suite %s seed=%d: %d scenarios\n", s.Name, seed, len(specs))
 	plainManipulable, faithfulClean := 0, 0
 	for i, spec := range specs {
-		c, err := spec.Compile()
-		if err != nil {
-			return err
-		}
-		plainSys, faithSys := c.Systems()
-		plainRep, err := core.CheckFaithfulness(plainSys, opts...)
-		if err != nil {
-			return fmt.Errorf("%s: plain: %w", spec.Describe(), err)
-		}
-		faithRep, err := core.CheckFaithfulness(faithSys, opts...)
-		if err != nil {
-			return fmt.Errorf("%s: faithful: %w", spec.Describe(), err)
+		var plainRep, faithRep core.Report
+		if spec.Churn.Dynamic() {
+			// Dynamic scenario: per-epoch grid through the churn engine.
+			var err error
+			if _, plainRep, faithRep, _, err = churnReports(spec, opts); err != nil {
+				return err
+			}
+		} else {
+			c, err := spec.Compile()
+			if err != nil {
+				return err
+			}
+			plainSys, faithSys := c.Systems()
+			if plainRep, err = core.CheckFaithfulness(plainSys, opts...); err != nil {
+				return fmt.Errorf("%s: plain: %w", spec.Describe(), err)
+			}
+			if faithRep, err = core.CheckFaithfulness(faithSys, opts...); err != nil {
+				return fmt.Errorf("%s: faithful: %w", spec.Describe(), err)
+			}
 		}
 		if len(plainRep.Violations) > 0 {
 			plainManipulable++
@@ -157,8 +265,16 @@ func runSuite(name string, seed int64, opts []core.CheckOption) error {
 		if faithRep.Faithful() {
 			faithfulClean++
 		}
-		fmt.Printf("[%d/%d] %s: plain violations=%d, faithful=%v (checked %d plays)\n",
-			i+1, len(specs), spec.Describe(), len(plainRep.Violations), faithRep.Faithful(), faithRep.Checked)
+		// Scenarios whose workload starves every catalogued deviation
+		// of profit are tagged explicitly: "plain non-manipulable" is a
+		// finding about the scenario, not a checker failure (see the
+		// pinned twotier hotspot study in the root tests).
+		tag := ""
+		if len(plainRep.Violations) == 0 {
+			tag = " [plain non-manipulable]"
+		}
+		fmt.Printf("[%d/%d] %s: plain violations=%d%s, faithful=%v (checked %d plays)\n",
+			i+1, len(specs), spec.Describe(), len(plainRep.Violations), tag, faithRep.Faithful(), faithRep.Checked)
 		for _, v := range faithRep.Violations {
 			fmt.Printf("        faithful violation: %s\n", v)
 		}

@@ -20,6 +20,15 @@ func TestRunScenarioFlags(t *testing.T) {
 	}
 }
 
+func TestRunChurnScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full per-epoch deviation search")
+	}
+	if err := run([]string{"-n", "5", "-seed", "2", "-epochs", "2", "-joins", "1", "-leaves", "1"}); err != nil {
+		t.Fatalf("faithcheck -epochs: %v", err)
+	}
+}
+
 func TestRunSuiteList(t *testing.T) {
 	if err := run([]string{"-suite", "list"}); err != nil {
 		t.Fatalf("faithcheck -suite list: %v", err)
@@ -39,6 +48,18 @@ func TestRunBadScenario(t *testing.T) {
 		{"-workload", "flood", "-n", "5"},
 		{"-costs", "normal", "-n", "5"},
 		{"-suite", "no-such-suite"},
+		// Churn flags are single-scenario only; a suite sweep must not
+		// silently ignore them.
+		{"-suite", "smoke", "-epochs", "3"},
+		{"-suite", "churn", "-leaves", "2"},
+		// And without -epochs > 1 the other churn flags do nothing —
+		// reject rather than run a static check the user thinks is
+		// dynamic.
+		{"-n", "5", "-joins", "2"},
+		// Invalid churn values must error, not silently clamp.
+		{"-n", "5", "-epochs", "0"},
+		{"-n", "5", "-epochs", "3", "-leaves", "-1"},
+		{"-n", "5", "-epochs", "3", "-redraw", "1.5"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

@@ -131,8 +131,25 @@ func (b *Bank) Complete() bool {
 	return true
 }
 
-// Reset clears collected reports (after a restart).
-func (b *Bank) Reset() { b.reports = make(map[graph.NodeID]StateReport) }
+// Reset clears collected reports (after a restart) in place. It used
+// to reallocate the reports map, which made every pooled replay pay a
+// fresh allocation; clearing keeps the map's buckets warm for the next
+// round (see Reuse and the bank pool in internal/faithful).
+func (b *Bank) Reset() { clear(b.reports) }
+
+// Reuse re-targets a pooled Bank at a new run: fresh authority and
+// neighborhood, reports cleared in place. Equivalent to New but
+// recycles the report map storage — the deviation search constructs a
+// bank per (node, deviation) run, so this is a hot path.
+func (b *Bank) Reuse(authority *sign.Authority, neighbors map[graph.NodeID][]graph.NodeID) {
+	b.authority = authority
+	b.neighbors = neighbors
+	if b.reports == nil {
+		b.reports = make(map[graph.NodeID]StateReport)
+	} else {
+		clear(b.reports)
+	}
+}
 
 // VerifyConstruction runs the construction-phase checkpoints:
 // common DATA1 across all nodes, then [BANK1] (routing) and [BANK2]

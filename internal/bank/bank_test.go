@@ -210,6 +210,38 @@ func TestResetClearsReports(t *testing.T) {
 	if b.Complete() {
 		t.Error("Reset did not clear reports")
 	}
+	// The cleared bank accepts a fresh round (the pooled-replay path).
+	for id, rep := range consistentReports() {
+		submit(t, b, signers[id], rep)
+	}
+	if !b.Complete() {
+		t.Error("cleared bank rejected a fresh round of reports")
+	}
+}
+
+func TestReusePooledBank(t *testing.T) {
+	b, signers := setup(t)
+	for id, rep := range consistentReports() {
+		submit(t, b, signers[id], rep)
+	}
+	// Reuse must behave like New on both a used bank and a zero value
+	// (what a sync.Pool hands out first).
+	fresh, signers2 := setup(t)
+	for _, reused := range []*Bank{b, new(Bank)} {
+		reused.Reuse(fresh.authority, fresh.neighbors)
+		if reused.Complete() {
+			t.Fatal("reused bank carries stale reports")
+		}
+		for id, rep := range consistentReports() {
+			submit(t, reused, signers2[id], rep)
+		}
+		if !reused.Complete() {
+			t.Fatal("reused bank incomplete after full submission")
+		}
+		if det := reused.VerifyConstruction(); len(det) != 0 {
+			t.Fatalf("reused bank detections: %v", det)
+		}
+	}
 }
 
 func TestAuditPaymentsHonest(t *testing.T) {

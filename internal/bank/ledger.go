@@ -1,0 +1,101 @@
+package bank
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Account identifies a ledger account: a stable participant identity
+// that outlives any single epoch's dense node numbering (the churn
+// engine's churn.Identity values flow in here).
+type Account int64
+
+// Ledger is the bank's cross-epoch carry-forward book. A static run
+// settles everything inside one execution phase, but once nodes join
+// and leave between construction phases the bank must carry each
+// identity's realized balance across epoch boundaries and close it out
+// when the identity departs — otherwise "leave before settling" would
+// be a free exit. The churn engine credits every member's epoch
+// utility after each epoch and settles departing identities at the
+// boundary; a freshly joined identity always opens at zero (a rejoin
+// under a new identity can launder reputation, not debt — the audit
+// penalties were already levied in-epoch, which is exactly why the
+// whitewashing deviation stays unprofitable under the extended
+// specification).
+type Ledger struct {
+	balances map[Account]int64
+	closed   map[Account]bool
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		balances: make(map[Account]int64),
+		closed:   make(map[Account]bool),
+	}
+}
+
+// Open starts an account at balance zero. Opening an existing open
+// account is a no-op; reopening a settled account is an error — a
+// departed identity must not resume its books (fresh identities get
+// fresh accounts).
+func (l *Ledger) Open(id Account) error {
+	if l.closed[id] {
+		return fmt.Errorf("bank: ledger account %d already settled", id)
+	}
+	if _, ok := l.balances[id]; !ok {
+		l.balances[id] = 0
+	}
+	return nil
+}
+
+// Credit adds delta (possibly negative) to an open account.
+func (l *Ledger) Credit(id Account, delta int64) error {
+	if l.closed[id] {
+		return fmt.Errorf("bank: credit to settled account %d", id)
+	}
+	if _, ok := l.balances[id]; !ok {
+		return fmt.Errorf("bank: credit to unopened account %d", id)
+	}
+	l.balances[id] += delta
+	return nil
+}
+
+// Balance returns an account's current (or final, once settled)
+// balance.
+func (l *Ledger) Balance(id Account) int64 { return l.balances[id] }
+
+// Settle closes an account at an epoch boundary, returning its final
+// balance. Settling twice is an error.
+func (l *Ledger) Settle(id Account) (int64, error) {
+	if l.closed[id] {
+		return 0, fmt.Errorf("bank: account %d settled twice", id)
+	}
+	if _, ok := l.balances[id]; !ok {
+		return 0, fmt.Errorf("bank: settle of unopened account %d", id)
+	}
+	l.closed[id] = true
+	return l.balances[id], nil
+}
+
+// Settled reports whether the account has been closed out.
+func (l *Ledger) Settled(id Account) bool { return l.closed[id] }
+
+// Accounts lists every account ever opened, sorted.
+func (l *Ledger) Accounts() []Account {
+	out := make([]Account, 0, len(l.balances))
+	for id := range l.balances {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Balances returns a copy of the full book, settled and open alike.
+func (l *Ledger) Balances() map[Account]int64 {
+	out := make(map[Account]int64, len(l.balances))
+	for id, b := range l.balances {
+		out[id] = b
+	}
+	return out
+}

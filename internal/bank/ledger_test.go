@@ -1,0 +1,75 @@
+package bank
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLedgerLifecycle(t *testing.T) {
+	l := NewLedger()
+	if err := l.Open(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Open(1); err != nil {
+		t.Fatalf("re-opening an open account should be a no-op: %v", err)
+	}
+	if err := l.Open(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Credit(1, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Credit(1, -15); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Credit(2, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Balance(1); got != 25 {
+		t.Errorf("balance(1) = %d, want 25", got)
+	}
+	final, err := l.Settle(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 25 {
+		t.Errorf("settled balance = %d, want 25", final)
+	}
+	if !l.Settled(1) || l.Settled(2) {
+		t.Error("settled flags wrong")
+	}
+	// A settled account is closed for good: no credits, no reopening,
+	// no second settlement — identity laundering cannot resurrect it.
+	if err := l.Credit(1, 1); err == nil {
+		t.Error("credit to settled account should error")
+	}
+	if err := l.Open(1); err == nil {
+		t.Error("reopening a settled account should error")
+	}
+	if _, err := l.Settle(1); err == nil {
+		t.Error("double settle should error")
+	}
+	// Final balance still readable.
+	if got := l.Balance(1); got != 25 {
+		t.Errorf("post-settlement balance = %d, want 25", got)
+	}
+	if got := l.Accounts(); !reflect.DeepEqual(got, []Account{1, 2}) {
+		t.Errorf("accounts = %v", got)
+	}
+	if got := l.Balances(); !reflect.DeepEqual(got, map[Account]int64{1: 25, 2: 7}) {
+		t.Errorf("balances = %v", got)
+	}
+}
+
+func TestLedgerUnopenedAccounts(t *testing.T) {
+	l := NewLedger()
+	if err := l.Credit(9, 1); err == nil {
+		t.Error("credit to unopened account should error")
+	}
+	if _, err := l.Settle(9); err == nil {
+		t.Error("settle of unopened account should error")
+	}
+	if got := l.Balance(9); got != 0 {
+		t.Errorf("balance of unknown account = %d, want 0", got)
+	}
+}

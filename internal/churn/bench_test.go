@@ -1,0 +1,67 @@
+package churn
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// BenchmarkTimelineBuild isolates the schedule/graph-evolution cost —
+// everything before any protocol runs.
+func BenchmarkTimelineBuild(b *testing.B) {
+	sp := scenario.Spec{Family: scenario.Random, N: 8, Seed: 1,
+		Churn: scenario.Churn{Epochs: 4, Joins: 1, Leaves: 1, RedrawFraction: 0.25}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChurn is the epochs × n × workers ladder of the per-epoch
+// deviation search against the extended specification — the unit of
+// work a `faithcheck -suite churn` sweep scales by, published as
+// BENCH_churn.json with a committed baseline. Workers > 1 rows are
+// where multi-core runners should show the parallel win; the per-play
+// cost is roughly one epoch's construction+execution (honest epochs
+// come from the timeline cache).
+func BenchmarkChurn(b *testing.B) {
+	if testing.Short() {
+		b.Skip("deviation searches are the slow lane")
+	}
+	shapes := []struct{ n, epochs int }{
+		{6, 2},
+		{6, 4},
+		{8, 2},
+	}
+	for _, shape := range shapes {
+		for _, workers := range []int{1, 4} {
+			shape, workers := shape, workers
+			name := fmt.Sprintf("n=%d/epochs=%d/w=%d", shape.n, shape.epochs, workers)
+			b.Run(name, func(b *testing.B) {
+				sp := scenario.Spec{Family: scenario.Random, N: shape.n, Seed: 1,
+					Churn: scenario.Churn{Epochs: shape.epochs, Joins: 1, Leaves: 1, RedrawFraction: 0.25}}
+				var plays int
+				for i := 0; i < b.N; i++ {
+					tl, err := Build(sp)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rep, err := core.CheckFaithfulness(NewSystem(tl, Faithful),
+						core.PerEpoch(), core.Workers(workers))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !rep.Faithful() {
+						b.Fatalf("extended spec violated: %v", rep.Violations)
+					}
+					plays = rep.Checked
+				}
+				b.ReportMetric(float64(plays), "plays")
+			})
+		}
+	}
+}

@@ -1,0 +1,423 @@
+package churn
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bank"
+	"repro/internal/core"
+	"repro/internal/fpss"
+	"repro/internal/graph"
+	"repro/internal/rational"
+	"repro/internal/spec"
+)
+
+// Variant selects which protocol the timeline plays.
+type Variant int
+
+const (
+	// Plain plays the original FPSS protocol (no checkers, no bank).
+	Plain Variant = iota
+	// Faithful plays the paper's extended specification.
+	Faithful
+)
+
+func (v Variant) String() string {
+	if v == Plain {
+		return "plain"
+	}
+	return "faithful"
+}
+
+// epochAction is what a deviation does in one epoch: which epoch-local
+// node deviates, and with which catalogued strategy. aliased marks
+// whitewashing epochs, where the deviator plays through a fresh
+// identity's slot: the alias's utility delta is credited to the
+// deviator and the alias is restored to its honest utility, so the
+// gain measures the deviation itself, not the mere fact of playing an
+// extra seat.
+type epochAction struct {
+	local   graph.NodeID
+	dev     *rational.Deviation
+	aliased bool
+}
+
+// deviation is one catalogued multi-epoch deviation for one identity.
+type deviation struct {
+	name    string
+	classes []spec.ActionKind
+	// epochs is the ascending activity set (see core.EpochedSystem.EpochsOf).
+	epochs []int
+	// act materializes the epoch's action; nil when inactive in e.
+	act func(e int) (*epochAction, error)
+}
+
+var _ core.Deviation = (*deviation)(nil)
+
+// Name implements core.Deviation.
+func (d *deviation) Name() string { return d.name }
+
+// Classes implements core.Deviation. Shared, read-only.
+func (d *deviation) Classes() []spec.ActionKind { return d.classes }
+
+func (d *deviation) activeIn(e int) bool {
+	for _, a := range d.epochs {
+		if a == e {
+			return true
+		}
+	}
+	return false
+}
+
+// System plays a Timeline as one core.System: the node set is the
+// identity set, a run is the whole timeline (one construction +
+// execution round per epoch), and utilities are summed per identity
+// across epochs with the bank's ledger carrying balances over the
+// boundaries. It implements core.EpochedSystem, so
+// core.CheckFaithfulness(sys, core.PerEpoch(), core.Workers(k)) replays
+// the (identity, deviation) grid per epoch through the same worker
+// pool the static search uses. Run and RunEpoch are safe for
+// concurrent calls once built (the per-epoch caches are lazily
+// initialized under sync.Once and read-only afterwards).
+type System struct {
+	tl      *Timeline
+	variant Variant
+
+	once    sync.Once
+	initErr error
+	epochs  []core.System  // per-epoch rational system
+	honest  []core.Outcome // per-epoch honest outcome, epoch-local keys
+	cats    map[Identity][]*deviation
+	ledger  *bank.Ledger
+}
+
+var _ core.EpochedSystem = (*System)(nil)
+
+// NewSystem wraps a timeline for one protocol variant.
+func NewSystem(tl *Timeline, v Variant) *System {
+	return &System{tl: tl, variant: v}
+}
+
+// Timeline returns the wrapped timeline.
+func (s *System) Timeline() *Timeline { return s.tl }
+
+// NumEpochs implements core.EpochedSystem.
+func (s *System) NumEpochs() int { return len(s.tl.Epochs) }
+
+func (s *System) init() error {
+	s.once.Do(func() {
+		s.epochs = make([]core.System, len(s.tl.Epochs))
+		s.honest = make([]core.Outcome, len(s.tl.Epochs))
+		for i, e := range s.tl.Epochs {
+			plain, faith := e.Compiled.Systems()
+			if s.variant == Plain {
+				s.epochs[i] = plain
+			} else {
+				s.epochs[i] = faith
+			}
+			out, err := s.epochs[i].Run(-1, nil)
+			if err != nil {
+				s.initErr = fmt.Errorf("churn: epoch %d baseline: %w", i, err)
+				return
+			}
+			s.honest[i] = out
+		}
+		if err := s.buildLedger(); err != nil {
+			s.initErr = err
+			return
+		}
+		s.buildCatalogues()
+	})
+	return s.initErr
+}
+
+// buildLedger replays the honest timeline through the bank's
+// carry-forward book: every member's epoch utility is credited after
+// the epoch, departing identities are settled at the boundary, and
+// joiners open fresh accounts at zero.
+func (s *System) buildLedger() error {
+	l := bank.NewLedger()
+	for _, e := range s.tl.Epochs {
+		for _, id := range e.Left {
+			if _, err := l.Settle(bank.Account(id)); err != nil {
+				return fmt.Errorf("churn: ledger: %w", err)
+			}
+		}
+		for i, id := range e.Members {
+			if err := l.Open(bank.Account(id)); err != nil {
+				return fmt.Errorf("churn: ledger: %w", err)
+			}
+			if err := l.Credit(bank.Account(id), s.honest[e.Index].Utilities[core.NodeID(i)]); err != nil {
+				return fmt.Errorf("churn: ledger: %w", err)
+			}
+		}
+	}
+	s.ledger = l
+	return nil
+}
+
+// Ledger exposes the honest timeline's carry-forward book (final and
+// settled balances per identity). Read-only.
+func (s *System) Ledger() (*bank.Ledger, error) {
+	if err := s.init(); err != nil {
+		return nil, err
+	}
+	return s.ledger, nil
+}
+
+// Nodes implements core.System: one NodeID per identity that ever
+// participates.
+func (s *System) Nodes() []core.NodeID {
+	ids := s.tl.Identities()
+	out := make([]core.NodeID, len(ids))
+	for i, id := range ids {
+		out[i] = core.NodeID(id)
+	}
+	return out
+}
+
+// Deviations implements core.System: the full static catalogue (each
+// deviation active in every epoch the identity is a member of) plus
+// the epoch-boundary deviations that only exist under churn.
+func (s *System) Deviations(n core.NodeID) []core.Deviation {
+	if err := s.init(); err != nil {
+		return nil
+	}
+	cat := s.cats[Identity(n)]
+	out := make([]core.Deviation, len(cat))
+	for i, d := range cat {
+		out[i] = d
+	}
+	return out
+}
+
+// EpochsOf implements core.EpochedSystem.
+func (s *System) EpochsOf(n core.NodeID, dev core.Deviation) []int {
+	d, ok := dev.(*deviation)
+	if !ok {
+		return nil
+	}
+	return d.epochs
+}
+
+// Run implements core.System: the deviation is active in every epoch
+// of its activity set — the dynamic analogue of a static deviant
+// playing its strategy for the whole run.
+func (s *System) Run(deviator core.NodeID, dev core.Deviation) (core.Outcome, error) {
+	return s.run(deviator, dev, -1)
+}
+
+// RunEpoch implements core.EpochedSystem: the deviation is pinned to
+// one epoch, every other epoch plays the suggested specification.
+func (s *System) RunEpoch(deviator core.NodeID, dev core.Deviation, epoch int) (core.Outcome, error) {
+	if epoch < 0 || epoch >= len(s.tl.Epochs) {
+		return core.Outcome{}, fmt.Errorf("churn: epoch %d out of range [0,%d)", epoch, len(s.tl.Epochs))
+	}
+	return s.run(deviator, dev, epoch)
+}
+
+// run aggregates the timeline. pin >= 0 restricts the deviation to one
+// epoch. The honest per-epoch outcomes are cached, so a run only pays
+// for the epochs the deviation actually touches.
+func (s *System) run(deviator core.NodeID, dev core.Deviation, pin int) (core.Outcome, error) {
+	if err := s.init(); err != nil {
+		return core.Outcome{}, err
+	}
+	var d *deviation
+	if deviator >= 0 && dev != nil {
+		var ok bool
+		if d, ok = dev.(*deviation); !ok {
+			return core.Outcome{}, fmt.Errorf("churn: foreign deviation %q", dev.Name())
+		}
+	}
+
+	out := core.Outcome{
+		Utilities: make(map[core.NodeID]int64, len(s.tl.Identities())),
+		Completed: true,
+	}
+	for _, id := range s.tl.Identities() {
+		out.Utilities[core.NodeID(id)] = 0
+	}
+
+	for _, e := range s.tl.Epochs {
+		var act *epochAction
+		if d != nil && (pin < 0 || pin == e.Index) && d.activeIn(e.Index) {
+			var err error
+			act, err = d.act(e.Index)
+			if err != nil {
+				return core.Outcome{}, err
+			}
+		}
+		epochOut := s.honest[e.Index]
+		if act != nil {
+			deviant, err := s.epochs[e.Index].Run(core.NodeID(act.local), act.dev)
+			if err != nil {
+				return core.Outcome{}, fmt.Errorf("churn: epoch %d: %w", e.Index, err)
+			}
+			epochOut = deviant
+		}
+		if !epochOut.Completed {
+			out.Completed = false
+		}
+		for i, id := range e.Members {
+			out.Utilities[core.NodeID(id)] += epochOut.Utilities[core.NodeID(i)]
+		}
+		if act != nil && act.aliased {
+			// Whitewashing epoch: restore the alias to its honest
+			// utility and credit the delta to the true deviator.
+			honest := s.honest[e.Index].Utilities[core.NodeID(act.local)]
+			got := epochOut.Utilities[core.NodeID(act.local)]
+			alias := e.IdentityOf(act.local)
+			out.Utilities[core.NodeID(alias)] += honest - got
+			out.Utilities[core.NodeID(deviator)] += got - honest
+		}
+		for _, det := range epochOut.Detected {
+			if int(det) < len(e.Members) {
+				out.Detected = append(out.Detected, core.NodeID(e.IdentityOf(graph.NodeID(det))))
+			}
+		}
+	}
+	return out, nil
+}
+
+// buildCatalogues assembles the per-identity deviation lists: every
+// static catalogue entry wrapped over the identity's member epochs,
+// plus the three boundary deviations where the schedule makes them
+// meaningful.
+func (s *System) buildCatalogues() {
+	base := rational.Catalogue(s.variant == Faithful)
+	s.cats = make(map[Identity][]*deviation, len(s.tl.Identities()))
+	for _, id := range s.tl.Identities() {
+		id := id
+		member := s.tl.MemberEpochs(id)
+		cat := make([]*deviation, 0, len(base)+3)
+		for _, rd := range base {
+			rd := rd
+			cat = append(cat, &deviation{
+				name:    rd.Name(),
+				classes: rd.Classes(),
+				epochs:  member,
+				act: func(e int) (*epochAction, error) {
+					local, _ := s.tl.Epochs[e].Local(id)
+					return &epochAction{local: local, dev: rd}, nil
+				},
+			})
+		}
+		if d := s.staleCatalogue(id, member); d != nil {
+			cat = append(cat, d)
+		}
+		if d := s.leaveWithoutSettling(id); d != nil {
+			cat = append(cat, d)
+		}
+		if d := s.rejoinFresh(id); d != nil {
+			cat = append(cat, d)
+		}
+		s.cats[id] = cat
+	}
+}
+
+// staleCatalogue is the first boundary deviation: in every epoch after
+// its first, the deviator skips the construction-phase recomputation
+// and re-advertises the catalogue it converged to in the previous
+// epoch (entries touching departed nodes dropped, costs now possibly
+// wrong). Under plain FPSS the stale prices can attract or shed
+// traffic at yesterday's rates; under the extended specification the
+// checkers' freshly mirrored computation diverges from the stale
+// advertisement and the bank withholds the green light.
+func (s *System) staleCatalogue(id Identity, member []int) *deviation {
+	var epochs []int
+	for _, e := range member {
+		if e == 0 {
+			continue
+		}
+		if _, prev := s.tl.Epochs[e-1].Local(id); prev {
+			epochs = append(epochs, e)
+		}
+	}
+	if len(epochs) == 0 {
+		return nil
+	}
+	return &deviation{
+		name:    "stale-catalogue-adverts",
+		classes: []spec.ActionKind{spec.MessagePassing, spec.Computation},
+		epochs:  epochs,
+		act: func(e int) (*epochAction, error) {
+			rt, pt, err := s.tl.staleTables(id, e)
+			if err != nil {
+				return nil, fmt.Errorf("churn: stale tables for %d@%d: %w", id, e, err)
+			}
+			local, _ := s.tl.Epochs[e].Local(id)
+			rd := rational.NewDeviation("stale-catalogue-adverts",
+				[]spec.ActionKind{spec.MessagePassing, spec.Computation},
+				rational.Parts{Protocol: func(rational.Ctx) *fpss.Strategy {
+					return &fpss.Strategy{
+						PostRouting: func(fpss.RoutingTable) fpss.RoutingTable { return rt.Clone() },
+						PostPricing: func(fpss.PricingTable) fpss.PricingTable { return pt.Clone() },
+					}
+				}})
+			return &epochAction{local: local, dev: rd}, nil
+		},
+	}
+}
+
+// leaveWithoutSettling is the second boundary deviation: in its final
+// member epoch the deviator reports an empty DATA4 and departs,
+// betting that the money it owes leaves with it. Plain FPSS trusts the
+// report — the exit scam keeps the full payment. The extended
+// specification audits the execution phase before the boundary is
+// processed (the ledger settles a leaver only after the epoch's
+// checkpoint), so the fraud is repaid with the ε-above penalty on top.
+func (s *System) leaveWithoutSettling(id Identity) *deviation {
+	boundary, leaves := s.tl.DepartureOf(id)
+	if !leaves {
+		return nil
+	}
+	last := boundary - 1
+	return &deviation{
+		name:    "leave-without-settling",
+		classes: []spec.ActionKind{spec.Computation},
+		epochs:  []int{last},
+		act: func(e int) (*epochAction, error) {
+			local, _ := s.tl.Epochs[e].Local(id)
+			return &epochAction{local: local, dev: underreportAll()}, nil
+		},
+	}
+}
+
+// rejoinFresh is the third boundary deviation — whitewashing: the
+// deviator runs the exit scam of leaveWithoutSettling, then slips back
+// in as one of the boundary's fresh identities and repeats it in every
+// epoch it plays under the new name. The fresh account opens at zero,
+// so nothing follows it across the boundary except what the in-epoch
+// audit already settled — which is exactly why the extended
+// specification keeps the whole scheme unprofitable (each round costs
+// ε) while plain FPSS pays it once per identity.
+func (s *System) rejoinFresh(id Identity) *deviation {
+	boundary, leaves := s.tl.DepartureOf(id)
+	if !leaves || len(s.tl.Epochs[boundary].Joined) == 0 {
+		return nil
+	}
+	alias := s.tl.Epochs[boundary].Joined[0]
+	epochs := []int{boundary - 1}
+	epochs = append(epochs, s.tl.MemberEpochs(alias)...)
+	return &deviation{
+		name:    "rejoin-fresh-identity",
+		classes: []spec.ActionKind{spec.InfoRevelation, spec.Computation},
+		epochs:  epochs,
+		act: func(e int) (*epochAction, error) {
+			if e < boundary {
+				local, _ := s.tl.Epochs[e].Local(id)
+				return &epochAction{local: local, dev: underreportAll()}, nil
+			}
+			local, _ := s.tl.Epochs[e].Local(alias)
+			return &epochAction{local: local, dev: underreportAll(), aliased: true}, nil
+		},
+	}
+}
+
+// underreportAll is the exit-scam payment misreport: an empty DATA4.
+func underreportAll() *rational.Deviation {
+	return rational.NewDeviation("underreport-exit",
+		[]spec.ActionKind{spec.Computation},
+		rational.Parts{ReportPayment: func(fpss.PaymentList) fpss.PaymentList { return fpss.PaymentList{} }})
+}

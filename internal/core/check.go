@@ -14,6 +14,7 @@ type CheckOption func(*checkConfig)
 type checkConfig struct {
 	workers   int
 	earlyStop bool
+	perEpoch  bool
 }
 
 // Workers sets the worker-pool size for the deviation search. k <= 0
@@ -28,6 +29,18 @@ func Workers(k int) CheckOption {
 		}
 		c.workers = k
 	}
+}
+
+// PerEpoch expands the search grid from (node, deviation) to
+// (node, deviation, epoch): every play pins its deviation to a single
+// epoch of an EpochedSystem, so violations carry the epoch that admits
+// them and a multi-epoch scenario is certified faithful *on every
+// epoch*, not merely in aggregate. The System must implement
+// EpochedSystem (ErrNotEpoched otherwise). Composes with Workers and
+// EarlyStop; the determinism invariant is unchanged because the grid
+// enumeration never depends on scheduling.
+func PerEpoch() CheckOption {
+	return func(c *checkConfig) { c.perEpoch = true }
 }
 
 // EarlyStop makes the search return at the first profitable deviation
@@ -48,11 +61,15 @@ func applyOptions(opts []CheckOption) checkConfig {
 	return cfg
 }
 
-// play is one (node, deviation) pair in catalogue order.
+// play is one (node, deviation) pair in catalogue order — or one
+// (node, deviation, epoch) triple under PerEpoch, with epoch as the
+// innermost axis.
 type play struct {
 	node NodeID
 	base int64
 	dev  Deviation
+	// epoch is the 0-based pinned epoch; -1 means the whole run.
+	epoch int
 }
 
 // playResult is the outcome of one play, recorded by job index so the
@@ -80,6 +97,13 @@ func check(sys System, cfg checkConfig) (Report, error) {
 	// Enumerate the catalogue up front (sequentially — Deviations need
 	// not be concurrency-safe). The baseline must price every node
 	// before any deviant play runs.
+	var epoched EpochedSystem
+	if cfg.perEpoch {
+		var ok bool
+		if epoched, ok = sys.(EpochedSystem); !ok {
+			return Report{}, ErrNotEpoched
+		}
+	}
 	var plays []play
 	for _, node := range sys.Nodes() {
 		base, ok := baseline.Utilities[node]
@@ -87,7 +111,20 @@ func check(sys System, cfg checkConfig) (Report, error) {
 			return Report{}, fmt.Errorf("core: baseline missing utility for node %d", node)
 		}
 		for _, dev := range sys.Deviations(node) {
-			plays = append(plays, play{node: node, base: base, dev: dev})
+			if epoched == nil {
+				plays = append(plays, play{node: node, base: base, dev: dev, epoch: -1})
+				continue
+			}
+			epochs := epoched.EpochsOf(node, dev)
+			if epochs == nil {
+				for e := 0; e < epoched.NumEpochs(); e++ {
+					plays = append(plays, play{node: node, base: base, dev: dev, epoch: e})
+				}
+				continue
+			}
+			for _, e := range epochs {
+				plays = append(plays, play{node: node, base: base, dev: dev, epoch: e})
+			}
 		}
 	}
 
@@ -106,7 +143,7 @@ func check(sys System, cfg checkConfig) (Report, error) {
 	results := make([]playResult, len(plays))
 	if workers <= 1 {
 		for i := range plays {
-			results[i] = runPlay(sys, plays[i])
+			results[i] = runPlay(sys, epoched, plays[i])
 			if ends(results[i]) {
 				break
 			}
@@ -132,7 +169,7 @@ func check(sys System, cfg checkConfig) (Report, error) {
 					if skip {
 						continue
 					}
-					r := runPlay(sys, plays[i])
+					r := runPlay(sys, epoched, plays[i])
 					results[i] = r
 					if ends(r) {
 						mu.Lock()
@@ -179,8 +216,14 @@ func check(sys System, cfg checkConfig) (Report, error) {
 // deviation's Classes slice is copied only when a violation is
 // recorded — Classes may return a shared slice (see
 // BasicDeviation.Classes).
-func runPlay(sys System, p play) playResult {
-	out, err := sys.Run(p.node, p.dev)
+func runPlay(sys System, epoched EpochedSystem, p play) playResult {
+	var out Outcome
+	var err error
+	if p.epoch >= 0 {
+		out, err = epoched.RunEpoch(p.node, p.dev, p.epoch)
+	} else {
+		out, err = sys.Run(p.node, p.dev)
+	}
 	if err != nil {
 		return playResult{err: fmt.Errorf("core: run node %d deviation %q: %w", p.node, p.dev.Name(), err)}
 	}
@@ -197,5 +240,6 @@ func runPlay(sys System, p play) playResult {
 		Classes:   append([]spec.ActionKind(nil), p.dev.Classes()...),
 		Baseline:  p.base,
 		Deviant:   got,
+		Epoch:     p.epoch + 1,
 	}}
 }

@@ -84,12 +84,19 @@ type Violation struct {
 	Classes   []spec.ActionKind
 	Baseline  int64
 	Deviant   int64
+	// Epoch is the 1-based epoch the deviation was pinned to when the
+	// check ran with PerEpoch over an EpochedSystem; 0 means the play
+	// spanned the whole run (static scenarios and un-pinned searches).
+	Epoch int
 }
 
 // Gain returns the strict improvement the deviator obtained.
 func (v Violation) Gain() int64 { return v.Deviant - v.Baseline }
 
 func (v Violation) String() string {
+	if v.Epoch > 0 {
+		return fmt.Sprintf("node %d gains %d via %q in epoch %d (classes %v)", v.Node, v.Gain(), v.Deviation, v.Epoch, v.Classes)
+	}
 	return fmt.Sprintf("node %d gains %d via %q (classes %v)", v.Node, v.Gain(), v.Deviation, v.Classes)
 }
 
@@ -130,9 +137,38 @@ func (r Report) AC() bool { return !r.touches(spec.Computation) }
 // same equilibrium — here literally the same runs).
 func (r Report) Faithful() bool { return len(r.Violations) == 0 }
 
+// EpochedSystem is a System whose runs span several epochs — a
+// dynamic network where nodes join and leave between construction
+// phases (internal/churn). On top of the whole-run Run inherited from
+// System (deviation active in every epoch the deviator participates
+// in), it can pin a deviation to a single epoch, which is what lets
+// CheckFaithfulness(…, PerEpoch()) replay the (node, deviation) grid
+// per epoch and attribute each violation to the epoch that admits it.
+type EpochedSystem interface {
+	System
+	// NumEpochs reports how many epochs a run spans (≥ 1).
+	NumEpochs() int
+	// RunEpoch executes the mechanism with the deviation active only
+	// in the given epoch (0-based); every other epoch follows the
+	// suggested specification. Utilities aggregate over all epochs,
+	// exactly like Run.
+	RunEpoch(deviator NodeID, dev Deviation, epoch int) (Outcome, error)
+	// EpochsOf lists the epochs (0-based, ascending) in which the
+	// deviation can differ from the suggested strategy for this
+	// deviator — e.g. only the epochs the node is a member of, or the
+	// single boundary a leave-type deviation exploits. nil means every
+	// epoch. PerEpoch enumerates plays only for these epochs; a pinned
+	// play outside the set would equal the baseline by construction.
+	EpochsOf(deviator NodeID, dev Deviation) []int
+}
+
 // ErrNoBaseline is returned when the suggested specification itself
 // fails to run.
 var ErrNoBaseline = errors.New("core: baseline run failed")
+
+// ErrNotEpoched is returned when PerEpoch is requested for a System
+// that does not implement EpochedSystem.
+var ErrNotEpoched = errors.New("core: PerEpoch requires an EpochedSystem")
 
 // CheckFaithfulness plays every catalogued unilateral deviation of
 // every node against the suggested specification and records each
@@ -146,7 +182,9 @@ var ErrNoBaseline = errors.New("core: baseline run failed")
 // With no options the search is sequential — the reference oracle.
 // Workers(k) fans the (node, deviation) runs over a pool (the System
 // must then tolerate concurrent Run calls); EarlyStop() returns at the
-// first profitable deviation in catalogue order. The Report is
+// first profitable deviation in catalogue order; PerEpoch() expands
+// the grid to (node, deviation, epoch) for an EpochedSystem so each
+// epoch of a dynamic network is certified separately. The Report is
 // byte-identical for every worker count: see check.go for how the
 // engine keeps scheduling out of the output.
 func CheckFaithfulness(sys System, opts ...CheckOption) (Report, error) {
@@ -154,13 +192,17 @@ func CheckFaithfulness(sys System, opts ...CheckOption) (Report, error) {
 }
 
 // sortViolations orders violations canonically: by node, then by
-// deviation name.
+// deviation name, then by epoch (PerEpoch can admit the same deviation
+// in several epochs).
 func sortViolations(vs []Violation) {
 	sort.Slice(vs, func(i, j int) bool {
 		if vs[i].Node != vs[j].Node {
 			return vs[i].Node < vs[j].Node
 		}
-		return vs[i].Deviation < vs[j].Deviation
+		if vs[i].Deviation != vs[j].Deviation {
+			return vs[i].Deviation < vs[j].Deviation
+		}
+		return vs[i].Epoch < vs[j].Epoch
 	})
 }
 

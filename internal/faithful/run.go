@@ -3,6 +3,7 @@ package faithful
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/bank"
 	"repro/internal/fpss"
@@ -10,6 +11,12 @@ import (
 	"repro/internal/sign"
 	"repro/internal/sim"
 )
+
+// bankPool recycles Banks across runs. A deviation search constructs a
+// bank per (node, deviation) play — and the churn engine one per epoch
+// per play — so the report map's buckets are worth keeping warm
+// (bank.Reuse clears them in place instead of reallocating).
+var bankPool = sync.Pool{New: func() any { return new(bank.Bank) }}
 
 // Config parameterizes a faithful-protocol run.
 type Config struct {
@@ -147,7 +154,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	authority := sign.NewAuthority()
-	theBank := bank.New(authority, checkersOf)
+	theBank := bankPool.Get().(*bank.Bank)
+	theBank.Reuse(authority, checkersOf)
+	defer bankPool.Put(theBank)
 	net := sim.AcquireNetwork()
 	defer net.Release()
 	if err := net.Attach(fpss.BankAddr, &bankHandler{bank: theBank}); err != nil {

@@ -42,6 +42,33 @@ type Deviation struct {
 	faithfulOnly bool
 }
 
+// Parts are the realizations of a custom deviation, mirroring the
+// unexported fields of Deviation: construction-phase strategy,
+// execution-phase payment misreport, and the faithful protocol's
+// checker-layer hooks. Any subset may be set.
+type Parts struct {
+	// Protocol builds the construction-phase deviation.
+	Protocol func(Ctx) *fpss.Strategy
+	// ReportPayment misreports DATA4 in the execution phase.
+	ReportPayment func(truth fpss.PaymentList) fpss.PaymentList
+	// Checker builds checker-layer deviations (faithful protocol only).
+	Checker func(Ctx) *faithful.Strategy
+}
+
+// NewDeviation assembles a custom catalogued deviation from its parts.
+// The churn engine composes its epoch-boundary deviations (stale
+// catalogues, leave-without-settling, identity whitewashing) out of
+// these instead of re-implementing the System adapters.
+func NewDeviation(name string, classes []spec.ActionKind, p Parts) *Deviation {
+	return &Deviation{
+		name:          name,
+		classes:       classes,
+		protocol:      p.Protocol,
+		reportPayment: p.ReportPayment,
+		checker:       p.Checker,
+	}
+}
+
 // Name implements core.Deviation.
 func (d *Deviation) Name() string { return d.name }
 

@@ -116,6 +116,33 @@ func Workloads() []Workload {
 	return []Workload{WorkloadAllPairs, WorkloadHotspot, WorkloadSparse, WorkloadGossip}
 }
 
+// Churn configures the epoch-based dynamics engine (internal/churn):
+// how many construction+execution rounds a scenario plays and how the
+// membership evolves between them. The zero value means static —
+// exactly one epoch — so every pre-churn Spec compiles byte-identically
+// to before. Compile itself never reads Churn; the churn engine builds
+// epoch 0 through Compile and evolves later epochs from its own
+// seed-derived schedule stream.
+type Churn struct {
+	// Epochs is the number of epochs (construction phase + execution
+	// phase rounds). 0 or 1 means static.
+	Epochs int
+	// Joins / Leaves are the node arrivals/departures drawn at each
+	// epoch boundary. Leaves are capped so the population never falls
+	// below MinN.
+	Joins, Leaves int
+	// RedrawFraction is the probability that a surviving node's
+	// transit cost re-draws from the Spec's cost model at a boundary
+	// (type dynamics on top of membership dynamics).
+	RedrawFraction float64
+	// MinN floors the population (default 4) so biconnectivity repair
+	// always has material to work with.
+	MinN int
+}
+
+// Dynamic reports whether the configuration actually spans epochs.
+func (c Churn) Dynamic() bool { return c.Epochs > 1 }
+
 // Spec declares a scenario. The zero value of most fields means "the
 // classic default", so the zero Spec (plus a Family) reproduces the
 // setups the experiments used before the scenario layer existed.
@@ -146,6 +173,9 @@ type Spec struct {
 	CheckerLimit int
 	// Scheme selects the plain-FPSS pricing rule (0 = VCG).
 	Scheme fpss.PricingScheme
+	// Churn selects the epoch dynamics (zero value = static). Compile
+	// ignores it; internal/churn consumes it.
+	Churn Churn
 	// Seed drives every random draw of Compile.
 	Seed int64
 }
@@ -179,13 +209,36 @@ func (s Spec) BuildWith(rng *rand.Rand) (*Compiled, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.describeTopology(), err)
 	}
+	return s.Materialize(g, traffic), nil
+}
+
+// CostFunc exposes the Spec's transit-cost distribution — the churn
+// engine draws joiner costs and boundary re-draws from the same model
+// the static compilation used.
+func (s Spec) CostFunc() (graph.CostFn, error) { return s.costFn() }
+
+// TrafficFor builds the Spec's workload demand matrix for an arbitrary
+// population size, drawing from the supplied rng. The churn engine
+// calls this once per epoch: membership changes re-shape the matrix
+// (a departed hotspot hub must be re-drawn among the new members), so
+// the workload is a per-epoch artifact, not a compile-time one.
+func (s Spec) TrafficFor(n int, rng *rand.Rand) (fpss.Traffic, error) {
+	return s.buildTraffic(n, rng)
+}
+
+// Materialize wraps an externally built graph and demand matrix in a
+// Compiled carrying this Spec's economic parameters, exactly as
+// BuildWith would have. The churn engine materializes each evolved
+// epoch through here so per-epoch systems share one parameter path
+// with static scenarios.
+func (s Spec) Materialize(g *graph.Graph, traffic fpss.Traffic) *Compiled {
 	params := rational.DefaultParams(g)
 	params.Traffic = traffic
 	params.CheckerLimit = s.CheckerLimit
 	if s.Scheme != 0 {
 		params.Scheme = s.Scheme
 	}
-	return &Compiled{Spec: s, Graph: g, Params: params}, nil
+	return &Compiled{Spec: s, Graph: g, Params: params}
 }
 
 // NoExtraEdges is the Spec.ExtraEdges sentinel for "exactly zero
@@ -526,6 +579,20 @@ func (s Spec) Describe() string {
 	}
 	if s.Scheme == fpss.SchemeDeclaredCost {
 		parts = append(parts, "scheme=declared-cost")
+	}
+	if s.Churn.Dynamic() {
+		// Every Churn field that changes the timeline must render here:
+		// Describe is the scenario's identity for suite seed derivation
+		// and dedup, so an omitted field would let behaviorally distinct
+		// specs collide. %g keeps the full RedrawFraction precision.
+		churn := fmt.Sprintf("epochs=%d join=%d leave=%d", s.Churn.Epochs, s.Churn.Joins, s.Churn.Leaves)
+		if s.Churn.RedrawFraction > 0 {
+			churn += fmt.Sprintf(" redraw=%g", s.Churn.RedrawFraction)
+		}
+		if s.Churn.MinN > 0 {
+			churn += fmt.Sprintf(" min=%d", s.Churn.MinN)
+		}
+		parts = append(parts, churn)
 	}
 	parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
 	return strings.Join(parts, " ")

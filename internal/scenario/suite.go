@@ -31,6 +31,10 @@ type Suite struct {
 	// Packets / CheckerLimit are applied uniformly to every Spec.
 	Packets      int64
 	CheckerLimit int
+	// Churn applies epoch dynamics uniformly to every Spec (zero value
+	// = static). Dynamic suites are swept through the churn engine by
+	// faithcheck instead of the single-epoch checker.
+	Churn Churn
 }
 
 // Specs expands the cross product in deterministic order: family
@@ -52,6 +56,7 @@ func (s Suite) Specs(seed int64) []Spec {
 						CostModel:    cm,
 						Packets:      s.Packets,
 						CheckerLimit: s.CheckerLimit,
+						Churn:        s.Churn,
 					}
 					if fam == Figure1 {
 						// Figure1 is fixed-size with fixed costs; the
@@ -78,16 +83,18 @@ func (s Suite) Specs(seed int64) []Spec {
 func deriveSeed(base int64, sp Spec) int64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(sp.Describe()))
-	mixed := splitmix64(uint64(base) ^ h.Sum64())
+	mixed := Mix64(uint64(base) ^ h.Sum64())
 	// Keep seeds positive and nonzero: rand.NewSource accepts any
 	// int64, but positive reads better in labels and never collides
 	// with the "unset" zero.
 	return int64(mixed%((1<<62)-1)) + 1
 }
 
-// splitmix64 is the classic 64-bit finalizer (Steele et al.), enough
-// to decorrelate neighboring identities.
-func splitmix64(x uint64) uint64 {
+// Mix64 is the classic splitmix64 finalizer (Steele et al.), enough
+// to decorrelate neighboring identities. Every seed-derivation path —
+// the suite keying here and the churn engine's schedule stream —
+// shares this one definition so they can never silently diverge.
+func Mix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
@@ -180,6 +187,23 @@ func init() {
 		Sizes:       []int{9, 12},
 		Workloads:   []Workload{WorkloadAllPairs, WorkloadGossip},
 		CostModels:  []CostModel{CostUniform, CostBimodal},
+	})
+	// churn: the dynamics sweep — every scenario spans three epochs
+	// with a join, a leave and occasional cost re-draws at each
+	// boundary, and faithcheck replays the deviation grid per epoch
+	// through the churn engine. n stays at 6: each scenario costs
+	// roughly epochs× the static search (an all-pairs n=8 play is
+	// ~60 ms, so a size-8 axis would push the blocking lane past ten
+	// minutes on a 1-core runner — larger sizes ride the nightly lane
+	// alongside the internet suite).
+	RegisterSuite(Suite{
+		Name:        "churn",
+		Description: "Epoch dynamics: joins/leaves/cost re-draws across 3 epochs",
+		Families:    []Family{Random, PrefAttach, TwoTier},
+		Sizes:       []int{6},
+		Workloads:   []Workload{WorkloadAllPairs, WorkloadHotspot},
+		CostModels:  []CostModel{CostUniform},
+		Churn:       Churn{Epochs: 3, Joins: 1, Leaves: 1, RedrawFraction: 0.25},
 	})
 	// workloads: one topology, every workload × cost model — isolates
 	// the demand-matrix axis.

@@ -87,6 +87,36 @@ type Counters struct {
 	PerNodeOut map[Addr]int64
 }
 
+// Add accumulates another snapshot into c — benchtab's suite profile
+// sums one snapshot per epoch of a churn timeline into the
+// whole-timeline message-overhead figure. Per-node maps are allocated
+// on first need; note that epoch-local addresses may denote different
+// identities across epochs, so dynamic callers aggregating per-node
+// traffic should remap before adding.
+func (c *Counters) Add(o Counters) {
+	c.Sent += o.Sent
+	c.Delivered += o.Delivered
+	c.Dropped += o.Dropped
+	c.Bytes += o.Bytes
+	c.Steps += o.Steps
+	if len(o.PerNodeIn) > 0 {
+		if c.PerNodeIn == nil {
+			c.PerNodeIn = make(map[Addr]int64, len(o.PerNodeIn))
+		}
+		for a, v := range o.PerNodeIn {
+			c.PerNodeIn[a] += v
+		}
+	}
+	if len(o.PerNodeOut) > 0 {
+		if c.PerNodeOut == nil {
+			c.PerNodeOut = make(map[Addr]int64, len(o.PerNodeOut))
+		}
+		for a, v := range o.PerNodeOut {
+			c.PerNodeOut[a] += v
+		}
+	}
+}
+
 // Network is a deterministic event-driven message network.
 type Network struct {
 	// Dense handler table for addresses in [0, maxDenseAddr): handlers

@@ -441,3 +441,29 @@ func TestAcquireReleaseRoundTrip(t *testing.T) {
 		n.Release()
 	}
 }
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{Sent: 3, Delivered: 2, Dropped: 1, Bytes: 40, Steps: 5,
+		PerNodeIn: map[Addr]int64{1: 2}, PerNodeOut: map[Addr]int64{0: 3}}
+	b := Counters{Sent: 10, Delivered: 9, Bytes: 100, Steps: 7,
+		PerNodeIn: map[Addr]int64{1: 1, 2: 4}, PerNodeOut: map[Addr]int64{0: 1}}
+	a.Add(b)
+	if a.Sent != 13 || a.Delivered != 11 || a.Dropped != 1 || a.Bytes != 140 || a.Steps != 12 {
+		t.Errorf("scalar sums wrong: %+v", a)
+	}
+	if a.PerNodeIn[1] != 3 || a.PerNodeIn[2] != 4 || a.PerNodeOut[0] != 4 {
+		t.Errorf("per-node sums wrong: in=%v out=%v", a.PerNodeIn, a.PerNodeOut)
+	}
+	// Adding into a zero value allocates the maps on demand.
+	var z Counters
+	z.Add(b)
+	if z.Sent != 10 || z.PerNodeIn[2] != 4 {
+		t.Errorf("zero-value Add wrong: %+v", z)
+	}
+	// Adding an empty snapshot must not allocate maps.
+	var z2 Counters
+	z2.Add(Counters{Sent: 1})
+	if z2.PerNodeIn != nil || z2.PerNodeOut != nil {
+		t.Error("empty per-node maps should stay nil")
+	}
+}
