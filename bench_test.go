@@ -138,11 +138,11 @@ func BenchmarkSuiteCheck(b *testing.B) {
 					b.Fatal(err)
 				}
 				plainSys, faithSys := c.Systems()
-				plainRep, err := core.CheckFaithfulness(plainSys, core.Workers(0))
+				plainRep, err := core.CheckFaithfulnessCfg(plainSys, core.CheckConfig{Workers: -1})
 				if err != nil {
 					b.Fatal(err)
 				}
-				faithRep, err := core.CheckFaithfulness(faithSys, core.Workers(0))
+				faithRep, err := core.CheckFaithfulnessCfg(faithSys, core.CheckConfig{Workers: -1})
 				if err != nil {
 					b.Fatal(err)
 				}

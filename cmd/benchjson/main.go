@@ -6,8 +6,13 @@
 //	benchjson -compare BENCH_graph.baseline.json BENCH_graph.json
 //
 // Compare prints one row per benchmark present in both files with the
-// time and allocation deltas; it never fails the build (perf drift is
-// surfaced, not gated, because CI runners are noisy).
+// time and allocation deltas. Timing drift is surfaced, never gated —
+// CI runners are too noisy. Allocation counts are deterministic on a
+// fixed workload, so those CAN gate: with -gate-allocs, compare exits
+// non-zero when any benchmark's allocs/op regresses past the given
+// percentage (optionally restricted to names matching -gate-match):
+//
+//	benchjson -gate-allocs 10 -gate-match 'plain/w=1' -compare old.json new.json
 package main
 
 import (
@@ -41,21 +46,42 @@ type Result struct {
 // "deliveries/op") — parsed by unit so metric order never matters.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
 
+// gate configures the allocation-regression check in compare mode.
+type gate struct {
+	// allocsPct fails the compare when allocs/op regresses by more
+	// than this percentage; <= 0 disables the gate.
+	allocsPct float64
+	// match restricts the gate to benchmark names it matches; nil
+	// gates every benchmark present in both files.
+	match *regexp.Regexp
+}
+
 func main() {
 	compare := flag.String("compare", "", "old.json to diff against; requires new.json as the positional arg")
+	gateAllocs := flag.Float64("gate-allocs", 0, "with -compare: fail when allocs/op regresses more than this percent (0 = report only)")
+	gateMatch := flag.String("gate-match", "", "with -gate-allocs: regexp restricting which benchmarks are gated")
 	flag.Parse()
-	if err := run(*compare, flag.Args(), os.Stdin, os.Stdout); err != nil {
+	g := gate{allocsPct: *gateAllocs}
+	if *gateMatch != "" {
+		re, err := regexp.Compile(*gateMatch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -gate-match:", err)
+			os.Exit(1)
+		}
+		g.match = re
+	}
+	if err := run(*compare, g, flag.Args(), os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(compare string, args []string, in io.Reader, out io.Writer) error {
+func run(compare string, g gate, args []string, in io.Reader, out io.Writer) error {
 	if compare != "" {
 		if len(args) != 1 {
 			return fmt.Errorf("-compare needs exactly one positional new.json, got %d args", len(args))
 		}
-		return runCompare(compare, args[0], out)
+		return runCompare(compare, args[0], g, out)
 	}
 	results, err := parse(in)
 	if err != nil {
@@ -120,7 +146,7 @@ func load(path string) (map[string]Result, []string, error) {
 	return m, order, nil
 }
 
-func runCompare(oldPath, newPath string, out io.Writer) error {
+func runCompare(oldPath, newPath string, g gate, out io.Writer) error {
 	oldM, order, err := load(oldPath)
 	if err != nil {
 		return err
@@ -130,8 +156,8 @@ func runCompare(oldPath, newPath string, out io.Writer) error {
 		return err
 	}
 	w := bufio.NewWriter(out)
-	defer w.Flush()
 	fmt.Fprintf(w, "%-40s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs Δ")
+	var regressions []string
 	for _, name := range order {
 		o := oldM[name]
 		n, ok := newM[name]
@@ -145,6 +171,13 @@ func runCompare(oldPath, newPath string, out io.Writer) error {
 		}
 		allocs := fmt.Sprintf("%+d", n.AllocsOp-o.AllocsOp)
 		fmt.Fprintf(w, "%-40s %14.0f %14.0f %8s %10s\n", name, o.NsPerOp, n.NsPerOp, delta, allocs)
+		if g.allocsPct > 0 && o.AllocsOp > 0 && (g.match == nil || g.match.MatchString(name)) {
+			pct := 100 * float64(n.AllocsOp-o.AllocsOp) / float64(o.AllocsOp)
+			if pct > g.allocsPct {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %d -> %d allocs/op (%+.1f%% > %+.1f%%)", name, o.AllocsOp, n.AllocsOp, pct, g.allocsPct))
+			}
+		}
 	}
 	var added []string
 	for name := range newM {
@@ -155,6 +188,12 @@ func runCompare(oldPath, newPath string, out io.Writer) error {
 	sort.Strings(added)
 	for _, name := range added {
 		fmt.Fprintf(w, "%-40s %14s %14.0f %8s %10s\n", name, "new", newM[name].NsPerOp, "", "")
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("allocation regression past %.0f%%:\n  %s", g.allocsPct, strings.Join(regressions, "\n  "))
 	}
 	return nil
 }

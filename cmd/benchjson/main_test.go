@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -47,7 +48,7 @@ func TestParse(t *testing.T) {
 
 func TestRunJSONRoundTrip(t *testing.T) {
 	var out bytes.Buffer
-	if err := run("", nil, strings.NewReader(sample), &out); err != nil {
+	if err := run("", gate{}, nil, strings.NewReader(sample), &out); err != nil {
 		t.Fatal(err)
 	}
 	var list []Result
@@ -74,7 +75,7 @@ func TestCompare(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run(oldPath, []string{newPath}, nil, &out); err != nil {
+	if err := run(oldPath, gate{}, []string{newPath}, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -86,7 +87,44 @@ func TestCompare(t *testing.T) {
 }
 
 func TestCompareArgValidation(t *testing.T) {
-	if err := run("old.json", nil, nil, &bytes.Buffer{}); err == nil {
+	if err := run("old.json", gate{}, nil, nil, &bytes.Buffer{}); err == nil {
 		t.Fatal("expected error without positional new.json")
+	}
+}
+
+// TestGateAllocs: the compare gate fails on an allocs/op regression
+// past the threshold, honours -gate-match, and stays quiet within it.
+func TestGateAllocs(t *testing.T) {
+	dir := t.TempDir()
+	oldJSON := `[{"name":"BenchmarkCheck/plain/w=1","iters":1,"ns_per_op":100,"allocs_per_op":1000},
+	             {"name":"BenchmarkCheck/faithful/w=1","iters":1,"ns_per_op":100,"allocs_per_op":1000}]`
+	// plain stays within 10%; faithful regresses 50%.
+	newJSON := `[{"name":"BenchmarkCheck/plain/w=1","iters":1,"ns_per_op":100,"allocs_per_op":1050},
+	             {"name":"BenchmarkCheck/faithful/w=1","iters":1,"ns_per_op":100,"allocs_per_op":1500}]`
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(oldJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// No gate: regressions are reported, not enforced.
+	if err := runCompare(oldPath, newPath, gate{}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("ungated compare failed: %v", err)
+	}
+	// Gate restricted to the plain ladder: within threshold, passes.
+	plainOnly := gate{allocsPct: 10, match: regexp.MustCompile(`plain/`)}
+	if err := runCompare(oldPath, newPath, plainOnly, &bytes.Buffer{}); err != nil {
+		t.Fatalf("plain ladder within 10%% should pass: %v", err)
+	}
+	// Gate everything: the faithful regression trips it, by name.
+	err := runCompare(oldPath, newPath, gate{allocsPct: 10}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "allocation regression") {
+		t.Fatalf("want allocation-regression failure, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "faithful") {
+		t.Fatalf("failure should name the regressing benchmark: %v", err)
 	}
 }

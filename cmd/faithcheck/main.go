@@ -51,6 +51,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "rng seed (single scenario) or suite base seed")
 	workers := fs.Int("workers", 0, "deviation-search pool size (0 = NumCPU, 1 = sequential oracle)")
 	first := fs.Bool("first-violation", false, "stop at the first profitable deviation in catalogue order")
+	prune := fs.Bool("prune", false, "skip plays the system's static profit bound proves unprofitable (reported separately from checked)")
+	verifyPruned := fs.Bool("verify-pruned", false, "debug: replay a sample of pruned plays and fail if the bound was unsound (implies -prune)")
 	epochs := fs.Int("epochs", 1, "churn: number of epochs (1 = static)")
 	joins := fs.Int("joins", 1, "churn: node arrivals per epoch boundary")
 	leaves := fs.Int("leaves", 1, "churn: node departures per epoch boundary")
@@ -68,12 +70,13 @@ func run(args []string) error {
 			churnFlags[f.Name] = true
 		}
 	})
-	var opts []core.CheckOption
-	if *workers != 1 {
-		opts = append(opts, core.Workers(*workers))
+	cfg := core.CheckConfig{Workers: *workers, EarlyStop: *first}
+	if *workers == 0 {
+		cfg.Workers = -1 // flag default: NumCPU
 	}
-	if *first {
-		opts = append(opts, core.EarlyStop())
+	if *prune || *verifyPruned {
+		cfg.PruneBound = core.SelfBound
+		cfg.VerifyPruned = *verifyPruned
 	}
 
 	if *suite != "" {
@@ -81,7 +84,7 @@ func run(args []string) error {
 		if len(churnFlags) > 0 {
 			return fmt.Errorf("churn flags (-epochs/-joins/-leaves/-redraw) apply to single scenarios; suites define their own churn axis (try -suite churn)")
 		}
-		return runSuite(*suite, *seed, opts)
+		return runSuite(*suite, *seed, cfg)
 	}
 	if churnFlags["epochs"] && *epochs < 1 {
 		return fmt.Errorf("-epochs must be >= 1, got %d", *epochs)
@@ -105,14 +108,14 @@ func run(args []string) error {
 	if *epochs > 1 {
 		spec.Churn = scenario.Churn{Epochs: *epochs, Joins: *joins, Leaves: *leaves, RedrawFraction: *redraw}
 		fmt.Println("scenario:", spec.Describe())
-		return checkChurnScenario(spec, opts)
+		return checkChurnScenario(spec, cfg)
 	}
 	c, err := spec.Compile()
 	if err != nil {
 		return err
 	}
 	fmt.Println("scenario:", spec.Describe())
-	return checkScenario(c, opts)
+	return checkScenario(c, cfg)
 }
 
 // specFromFlags maps the single-scenario flags onto a scenario.Spec,
@@ -151,15 +154,15 @@ func specFromFlags(topology string, n int, workload, costs string, seed int64) (
 
 // checkScenario runs the deviation search against both protocol
 // variants of one compiled scenario.
-func checkScenario(c *scenario.Compiled, opts []core.CheckOption) error {
+func checkScenario(c *scenario.Compiled, cfg core.CheckConfig) error {
 	plainSys, faithSys := c.Systems()
-	plain, err := core.CheckFaithfulness(plainSys, opts...)
+	plain, err := core.CheckFaithfulnessCfg(plainSys, cfg)
 	if err != nil {
 		return err
 	}
 	report("plain FPSS", plain)
 
-	faithfulRep, err := core.CheckFaithfulness(faithSys, opts...)
+	faithfulRep, err := core.CheckFaithfulnessCfg(faithSys, cfg)
 	if err != nil {
 		return err
 	}
@@ -171,18 +174,18 @@ func checkScenario(c *scenario.Compiled, opts []core.CheckOption) error {
 // per-epoch deviation search against both protocol variants — the one
 // sequence the single-scenario and suite paths share. The faithful
 // System is returned alive so callers can read its honest ledger.
-func churnReports(sp scenario.Spec, opts []core.CheckOption) (*churn.Timeline, core.Report, core.Report, *churn.System, error) {
+func churnReports(sp scenario.Spec, cfg core.CheckConfig) (*churn.Timeline, core.Report, core.Report, *churn.System, error) {
 	tl, err := churn.Build(sp)
 	if err != nil {
 		return nil, core.Report{}, core.Report{}, nil, err
 	}
-	opts = append(append([]core.CheckOption{}, opts...), core.PerEpoch())
-	plainRep, err := core.CheckFaithfulness(churn.NewSystem(tl, churn.Plain), opts...)
+	cfg.PerEpoch = true
+	plainRep, err := core.CheckFaithfulnessCfg(churn.NewSystem(tl, churn.Plain), cfg)
 	if err != nil {
 		return nil, core.Report{}, core.Report{}, nil, fmt.Errorf("%s: plain: %w", sp.Describe(), err)
 	}
 	faithSys := churn.NewSystem(tl, churn.Faithful)
-	faithRep, err := core.CheckFaithfulness(faithSys, opts...)
+	faithRep, err := core.CheckFaithfulnessCfg(faithSys, cfg)
 	if err != nil {
 		return nil, core.Report{}, core.Report{}, nil, fmt.Errorf("%s: faithful: %w", sp.Describe(), err)
 	}
@@ -191,8 +194,8 @@ func churnReports(sp scenario.Spec, opts []core.CheckOption) (*churn.Timeline, c
 
 // checkChurnScenario is the verbose single-scenario churn path: the
 // membership timeline, both reports, and the honest ledger.
-func checkChurnScenario(sp scenario.Spec, opts []core.CheckOption) error {
-	tl, plainRep, faithRep, faithSys, err := churnReports(sp, opts)
+func checkChurnScenario(sp scenario.Spec, cfg core.CheckConfig) error {
+	tl, plainRep, faithRep, faithSys, err := churnReports(sp, cfg)
 	if err != nil {
 		return err
 	}
@@ -224,7 +227,7 @@ func checkChurnScenario(sp scenario.Spec, opts []core.CheckOption) error {
 // runSuite streams every scenario of a named suite through the
 // worker-pool checker, one summary line per scenario, then a verdict
 // over the whole sweep. Output is deterministic per (suite, seed).
-func runSuite(name string, seed int64, opts []core.CheckOption) error {
+func runSuite(name string, seed int64, cfg core.CheckConfig) error {
 	if name == "list" {
 		for _, s := range scenario.Suites() {
 			fmt.Printf("%-12s %3d scenarios  %s\n", s.Name, len(s.Specs(seed)), s.Description)
@@ -243,7 +246,7 @@ func runSuite(name string, seed int64, opts []core.CheckOption) error {
 		if spec.Churn.Dynamic() {
 			// Dynamic scenario: per-epoch grid through the churn engine.
 			var err error
-			if _, plainRep, faithRep, _, err = churnReports(spec, opts); err != nil {
+			if _, plainRep, faithRep, _, err = churnReports(spec, cfg); err != nil {
 				return err
 			}
 		} else {
@@ -252,10 +255,10 @@ func runSuite(name string, seed int64, opts []core.CheckOption) error {
 				return err
 			}
 			plainSys, faithSys := c.Systems()
-			if plainRep, err = core.CheckFaithfulness(plainSys, opts...); err != nil {
+			if plainRep, err = core.CheckFaithfulnessCfg(plainSys, cfg); err != nil {
 				return fmt.Errorf("%s: plain: %w", spec.Describe(), err)
 			}
-			if faithRep, err = core.CheckFaithfulness(faithSys, opts...); err != nil {
+			if faithRep, err = core.CheckFaithfulnessCfg(faithSys, cfg); err != nil {
 				return fmt.Errorf("%s: faithful: %w", spec.Describe(), err)
 			}
 		}
@@ -273,8 +276,9 @@ func runSuite(name string, seed int64, opts []core.CheckOption) error {
 		if len(plainRep.Violations) == 0 {
 			tag = " [plain non-manipulable]"
 		}
-		fmt.Printf("[%d/%d] %s: plain violations=%d%s, faithful=%v (checked %d plays)\n",
-			i+1, len(specs), spec.Describe(), len(plainRep.Violations), tag, faithRep.Faithful(), faithRep.Checked)
+		fmt.Printf("[%d/%d] %s: plain violations=%d%s, faithful=%v (checked %d/%d plays, pruned %d)\n",
+			i+1, len(specs), spec.Describe(), len(plainRep.Violations), tag, faithRep.Faithful(),
+			faithRep.Checked, faithRep.Total(), faithRep.Pruned)
 		for _, v := range faithRep.Violations {
 			fmt.Printf("        faithful violation: %s\n", v)
 		}
@@ -292,7 +296,7 @@ func runSuite(name string, seed int64, opts []core.CheckOption) error {
 }
 
 func report(name string, r core.Report) {
-	fmt.Printf("\n%s: checked %d deviation plays\n", name, r.Checked)
+	fmt.Printf("\n%s: checked %d of %d deviation plays (%d pruned)\n", name, r.Checked, r.Total(), r.Pruned)
 	fmt.Printf("  IC=%v CC=%v AC=%v faithful=%v\n", r.IC(), r.CC(), r.AC(), r.Faithful())
 	for _, v := range r.Violations {
 		fmt.Printf("  violation: %s\n", v)

@@ -2,6 +2,7 @@ package churn
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"repro/internal/core"
@@ -44,14 +45,15 @@ func BenchmarkChurn(b *testing.B) {
 			b.Run(name, func(b *testing.B) {
 				sp := scenario.Spec{Family: scenario.Random, N: shape.n, Seed: 1,
 					Churn: scenario.Churn{Epochs: shape.epochs, Joins: 1, Leaves: 1, RedrawFraction: 0.25}}
+				b.ReportAllocs()
 				var plays int
 				for i := 0; i < b.N; i++ {
 					tl, err := Build(sp)
 					if err != nil {
 						b.Fatal(err)
 					}
-					rep, err := core.CheckFaithfulness(NewSystem(tl, Faithful),
-						core.PerEpoch(), core.Workers(workers))
+					rep, err := core.CheckFaithfulnessCfg(NewSystem(tl, Faithful),
+						core.CheckConfig{PerEpoch: true, Workers: workers})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -63,5 +65,46 @@ func BenchmarkChurn(b *testing.B) {
 				b.ReportMetric(float64(plays), "plays")
 			})
 		}
+	}
+}
+
+// BenchmarkChurnScale is the big-n end of the ladder: n={16,32}
+// per-epoch searches with profit-bound pruning, run with a NumCPU
+// pool — the configuration a real sweep at that size would use. One
+// n=16 search alone takes ~30 minutes sequential (658 plays, ~550GB
+// allocated), so these rows are opt-in (BENCH_CHURN_SCALE=1) and
+// live in the nightly CI lane, not the per-push bench smoke.
+func BenchmarkChurnScale(b *testing.B) {
+	if os.Getenv("BENCH_CHURN_SCALE") == "" {
+		b.Skip("set BENCH_CHURN_SCALE=1 (nightly lane) to run the n=16/32 ladder rows")
+	}
+	for _, n := range []int{16, 32} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			sp := scenario.Spec{Family: scenario.Random, N: n, Seed: 1,
+				Churn: scenario.Churn{Epochs: 2, Joins: 1, Leaves: 1, RedrawFraction: 0.25}}
+			b.ReportAllocs()
+			var checked, pruned int
+			for i := 0; i < b.N; i++ {
+				tl, err := Build(sp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := core.CheckFaithfulnessCfg(NewSystem(tl, Faithful), core.CheckConfig{
+					PerEpoch:   true,
+					Workers:    -1,
+					PruneBound: core.SelfBound,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Faithful() {
+					b.Fatalf("extended spec violated: %v", rep.Violations)
+				}
+				checked, pruned = rep.Checked, rep.Pruned
+			}
+			b.ReportMetric(float64(checked), "plays")
+			b.ReportMetric(float64(pruned), "pruned")
+		})
 	}
 }

@@ -50,6 +50,10 @@ type deviation struct {
 	epochs []int
 	// act materializes the epoch's action; nil when inactive in e.
 	act func(e int) (*epochAction, error)
+	// execOnly marks deviations whose every epoch action leaves the
+	// construction phases honest (payment misreports only) — the class
+	// ProfitUpperBound can bound under the extended specification.
+	execOnly bool
 }
 
 var _ core.Deviation = (*deviation)(nil)
@@ -83,15 +87,23 @@ type System struct {
 	tl      *Timeline
 	variant Variant
 
-	once    sync.Once
-	initErr error
-	epochs  []core.System  // per-epoch rational system
-	honest  []core.Outcome // per-epoch honest outcome, epoch-local keys
-	cats    map[Identity][]*deviation
-	ledger  *bank.Ledger
+	once     sync.Once
+	initErr  error
+	epochs   []core.System         // per-epoch rational system
+	stateful []core.StatefulSystem // the same systems, stateful view
+	states   []core.TruthfulState  // per-epoch truthful snapshot
+	honest   []core.Outcome        // per-epoch honest outcome, epoch-local keys
+	cats     map[Identity][]*deviation
+	ledger   *bank.Ledger
+
+	snapOnce sync.Once
+	snap     *timelineState
+	snapErr  error
 }
 
 var _ core.EpochedSystem = (*System)(nil)
+var _ core.StatefulEpochedSystem = (*System)(nil)
+var _ core.Bounder = (*System)(nil)
 
 // NewSystem wraps a timeline for one protocol variant.
 func NewSystem(tl *Timeline, v Variant) *System {
@@ -107,6 +119,8 @@ func (s *System) NumEpochs() int { return len(s.tl.Epochs) }
 func (s *System) init() error {
 	s.once.Do(func() {
 		s.epochs = make([]core.System, len(s.tl.Epochs))
+		s.stateful = make([]core.StatefulSystem, len(s.tl.Epochs))
+		s.states = make([]core.TruthfulState, len(s.tl.Epochs))
 		s.honest = make([]core.Outcome, len(s.tl.Epochs))
 		for i, e := range s.tl.Epochs {
 			plain, faith := e.Compiled.Systems()
@@ -115,12 +129,18 @@ func (s *System) init() error {
 			} else {
 				s.epochs[i] = faith
 			}
-			out, err := s.epochs[i].Run(-1, nil)
+			// One truthful snapshot per epoch: its baseline doubles as
+			// the honest outcome, and every deviant epoch play overlays
+			// it through the caller's play context.
+			ss := core.AsStateful(s.epochs[i])
+			st, err := ss.Snapshot()
 			if err != nil {
 				s.initErr = fmt.Errorf("churn: epoch %d baseline: %w", i, err)
 				return
 			}
-			s.honest[i] = out
+			s.stateful[i] = ss
+			s.states[i] = st
+			s.honest[i] = st.Baseline()
 		}
 		if err := s.buildLedger(); err != nil {
 			s.initErr = err
@@ -204,7 +224,7 @@ func (s *System) EpochsOf(n core.NodeID, dev core.Deviation) []int {
 // of its activity set — the dynamic analogue of a static deviant
 // playing its strategy for the whole run.
 func (s *System) Run(deviator core.NodeID, dev core.Deviation) (core.Outcome, error) {
-	return s.run(deviator, dev, -1)
+	return s.run(nil, deviator, dev, -1)
 }
 
 // RunEpoch implements core.EpochedSystem: the deviation is pinned to
@@ -213,13 +233,15 @@ func (s *System) RunEpoch(deviator core.NodeID, dev core.Deviation, epoch int) (
 	if epoch < 0 || epoch >= len(s.tl.Epochs) {
 		return core.Outcome{}, fmt.Errorf("churn: epoch %d out of range [0,%d)", epoch, len(s.tl.Epochs))
 	}
-	return s.run(deviator, dev, epoch)
+	return s.run(nil, deviator, dev, epoch)
 }
 
 // run aggregates the timeline. pin >= 0 restricts the deviation to one
 // epoch. The honest per-epoch outcomes are cached, so a run only pays
-// for the epochs the deviation actually touches.
-func (s *System) run(deviator core.NodeID, dev core.Deviation, pin int) (core.Outcome, error) {
+// for the epochs the deviation actually touches; with a play context
+// those epochs route through the per-epoch truthful snapshots and the
+// worker's arena instead of fresh full runs.
+func (s *System) run(ctx *core.PlayContext, deviator core.NodeID, dev core.Deviation, pin int) (core.Outcome, error) {
 	if err := s.init(); err != nil {
 		return core.Outcome{}, err
 	}
@@ -232,7 +254,7 @@ func (s *System) run(deviator core.NodeID, dev core.Deviation, pin int) (core.Ou
 	}
 
 	out := core.Outcome{
-		Utilities: make(map[core.NodeID]int64, len(s.tl.Identities())),
+		Utilities: timelineUtilities(ctx, len(s.tl.Identities())),
 		Completed: true,
 	}
 	for _, id := range s.tl.Identities() {
@@ -250,7 +272,9 @@ func (s *System) run(deviator core.NodeID, dev core.Deviation, pin int) (core.Ou
 		}
 		epochOut := s.honest[e.Index]
 		if act != nil {
-			deviant, err := s.epochs[e.Index].Run(core.NodeID(act.local), act.dev)
+			// The epoch outcome may live in the context's arena: it is
+			// consumed below, before the next epoch's play reuses it.
+			deviant, err := s.stateful[e.Index].Play(ctx, s.states[e.Index], core.NodeID(act.local), act.dev)
 			if err != nil {
 				return core.Outcome{}, fmt.Errorf("churn: epoch %d: %w", e.Index, err)
 			}
@@ -301,6 +325,7 @@ func (s *System) buildCatalogues() {
 					local, _ := s.tl.Epochs[e].Local(id)
 					return &epochAction{local: local, dev: rd}, nil
 				},
+				execOnly: rd.ExecOnly(),
 			})
 		}
 		if d := s.staleCatalogue(id, member); d != nil {
@@ -381,6 +406,7 @@ func (s *System) leaveWithoutSettling(id Identity) *deviation {
 			local, _ := s.tl.Epochs[e].Local(id)
 			return &epochAction{local: local, dev: underreportAll()}, nil
 		},
+		execOnly: true,
 	}
 }
 
@@ -412,6 +438,7 @@ func (s *System) rejoinFresh(id Identity) *deviation {
 			local, _ := s.tl.Epochs[e].Local(alias)
 			return &epochAction{local: local, dev: underreportAll(), aliased: true}, nil
 		},
+		execOnly: true,
 	}
 }
 

@@ -2,64 +2,10 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/spec"
 )
-
-// CheckOption configures CheckFaithfulness.
-type CheckOption func(*checkConfig)
-
-type checkConfig struct {
-	workers   int
-	earlyStop bool
-	perEpoch  bool
-}
-
-// Workers sets the worker-pool size for the deviation search. k <= 0
-// means runtime.NumCPU(). The default (option absent) is 1: a purely
-// sequential search, safe for any System. With k > 1 the System's Run
-// method must be safe for concurrent calls — the rational package's
-// systems are.
-func Workers(k int) CheckOption {
-	return func(c *checkConfig) {
-		if k <= 0 {
-			k = runtime.NumCPU()
-		}
-		c.workers = k
-	}
-}
-
-// PerEpoch expands the search grid from (node, deviation) to
-// (node, deviation, epoch): every play pins its deviation to a single
-// epoch of an EpochedSystem, so violations carry the epoch that admits
-// them and a multi-epoch scenario is certified faithful *on every
-// epoch*, not merely in aggregate. The System must implement
-// EpochedSystem (ErrNotEpoched otherwise). Composes with Workers and
-// EarlyStop; the determinism invariant is unchanged because the grid
-// enumeration never depends on scheduling.
-func PerEpoch() CheckOption {
-	return func(c *checkConfig) { c.perEpoch = true }
-}
-
-// EarlyStop makes the search return at the first profitable deviation
-// in catalogue order — (node, deviation) pairs enumerated as the
-// sequential loop would visit them. The Report then carries exactly
-// that one violation, and Checked counts the plays a sequential search
-// would have executed (the violation's 1-based position). Useful when
-// the caller only needs a faithful/not-faithful verdict.
-func EarlyStop() CheckOption {
-	return func(c *checkConfig) { c.earlyStop = true }
-}
-
-func applyOptions(opts []CheckOption) checkConfig {
-	cfg := checkConfig{workers: 1}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	return cfg
-}
 
 // play is one (node, deviation) pair in catalogue order — or one
 // (node, deviation, epoch) triple under PerEpoch, with epoch as the
@@ -79,56 +25,87 @@ type playResult struct {
 	err       error
 }
 
-// check is the deviation-search engine behind CheckFaithfulness.
+// engine carries one search's resolved shape: the system under test,
+// its stateful view, the truthful snapshot every play overlays, and
+// the epoch capabilities when the grid is per-epoch.
+type engine struct {
+	sys     System
+	ss      StatefulSystem
+	st      TruthfulState
+	epoched EpochedSystem         // non-nil iff cfg.PerEpoch
+	sepoch  StatefulEpochedSystem // non-nil when the system plays epochs against snapshots
+}
+
+// check is the deviation-search engine behind CheckFaithfulness and
+// CheckFaithfulnessCfg.
 //
 // Determinism invariant: the Report (and any error) depends only on
-// the System, never on the worker count or scheduling. Every job
-// writes its result into its own catalogue-order slot; violations are
-// collected in slot order and errors are reported for the earliest
-// failing slot — exactly what the sequential loop would have produced.
-// A parallel early-stopped search may *execute* more plays than the
-// sequential one, but it reports the same ones.
-func check(sys System, cfg checkConfig) (Report, error) {
-	baseline, err := sys.Run(-1, nil)
+// the System and the config's semantic fields (EarlyStop, PerEpoch,
+// PruneBound) — never on the worker count, context pooling, or
+// scheduling. Every job writes its result into its own
+// catalogue-order slot; violations are collected in slot order and
+// errors are reported for the earliest failing slot — exactly what
+// the sequential loop would have produced. Pruning is decided at
+// enumeration time from the static bound, so every worker count
+// prunes the same plays. A parallel early-stopped search may
+// *execute* more plays than the sequential one, but it reports the
+// same ones.
+func check(sys System, cfg CheckConfig) (Report, error) {
+	e := engine{sys: sys, ss: AsStateful(sys)}
+	st, err := e.ss.Snapshot()
 	if err != nil {
 		return Report{}, fmt.Errorf("%w: %v", ErrNoBaseline, err)
 	}
+	e.st = st
+	baseline := st.Baseline()
 
 	// Enumerate the catalogue up front (sequentially — Deviations need
 	// not be concurrency-safe). The baseline must price every node
-	// before any deviant play runs.
-	var epoched EpochedSystem
-	if cfg.perEpoch {
+	// before any deviant play runs; prune decisions are taken here,
+	// once, so they cannot depend on scheduling.
+	if cfg.PerEpoch {
 		var ok bool
-		if epoched, ok = sys.(EpochedSystem); !ok {
+		if e.epoched, ok = sys.(EpochedSystem); !ok {
 			return Report{}, ErrNotEpoched
 		}
+		e.sepoch, _ = sys.(StatefulEpochedSystem)
 	}
-	var plays []play
+	var plays, pruned []play
+	add := func(p play) {
+		if cfg.PruneBound != nil {
+			if bound, ok := cfg.PruneBound(sys, p.node, p.dev, p.epoch); ok && bound <= p.base {
+				// A violation needs a strict gain; a bound at or
+				// below the baseline proves there is none.
+				pruned = append(pruned, p)
+				return
+			}
+		}
+		plays = append(plays, p)
+	}
 	for _, node := range sys.Nodes() {
 		base, ok := baseline.Utilities[node]
 		if !ok {
 			return Report{}, fmt.Errorf("core: baseline missing utility for node %d", node)
 		}
 		for _, dev := range sys.Deviations(node) {
-			if epoched == nil {
-				plays = append(plays, play{node: node, base: base, dev: dev, epoch: -1})
+			if e.epoched == nil {
+				add(play{node: node, base: base, dev: dev, epoch: -1})
 				continue
 			}
-			epochs := epoched.EpochsOf(node, dev)
+			epochs := e.epoched.EpochsOf(node, dev)
 			if epochs == nil {
-				for e := 0; e < epoched.NumEpochs(); e++ {
-					plays = append(plays, play{node: node, base: base, dev: dev, epoch: e})
+				for ep := 0; ep < e.epoched.NumEpochs(); ep++ {
+					add(play{node: node, base: base, dev: dev, epoch: ep})
 				}
 				continue
 			}
-			for _, e := range epochs {
-				plays = append(plays, play{node: node, base: base, dev: dev, epoch: e})
+			for _, ep := range epochs {
+				add(play{node: node, base: base, dev: dev, epoch: ep})
 			}
 		}
 	}
 
-	workers := cfg.workers
+	workers := cfg.workerCount()
 	if workers > len(plays) {
 		workers = len(plays)
 	}
@@ -137,13 +114,17 @@ func check(sys System, cfg checkConfig) (Report, error) {
 	// error does (the fold returns the earliest error, discarding the
 	// report), and a violation does under early stop.
 	ends := func(r playResult) bool {
-		return r.err != nil || (cfg.earlyStop && r.violation != nil)
+		return r.err != nil || (cfg.EarlyStop && r.violation != nil)
 	}
 
 	results := make([]playResult, len(plays))
 	if workers <= 1 {
+		ctx := NewPlayContext(0)
 		for i := range plays {
-			results[i] = runPlay(sys, epoched, plays[i])
+			if cfg.FreshContexts {
+				ctx = NewPlayContext(0)
+			}
+			results[i] = e.runPlay(ctx, plays[i])
 			if ends(results[i]) {
 				break
 			}
@@ -160,8 +141,9 @@ func check(sys System, cfg checkConfig) (Report, error) {
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
-			go func() {
+			go func(worker int) {
 				defer wg.Done()
+				ctx := NewPlayContext(worker)
 				for i := range jobs {
 					mu.Lock()
 					skip := i > stop
@@ -169,7 +151,10 @@ func check(sys System, cfg checkConfig) (Report, error) {
 					if skip {
 						continue
 					}
-					r := runPlay(sys, epoched, plays[i])
+					if cfg.FreshContexts {
+						ctx = NewPlayContext(worker)
+					}
+					r := e.runPlay(ctx, plays[i])
 					results[i] = r
 					if ends(r) {
 						mu.Lock()
@@ -179,7 +164,7 @@ func check(sys System, cfg checkConfig) (Report, error) {
 						mu.Unlock()
 					}
 				}
-			}()
+			}(w)
 		}
 		for i := range plays {
 			jobs <- i
@@ -189,12 +174,13 @@ func check(sys System, cfg checkConfig) (Report, error) {
 	}
 
 	// Fold results in catalogue order.
-	rep := Report{}
+	rep := Report{Pruned: len(pruned)}
+	folded := false
 	for i := range results {
 		if err := results[i].err; err != nil {
 			return Report{}, err
 		}
-		if !cfg.earlyStop {
+		if !cfg.EarlyStop {
 			if v := results[i].violation; v != nil {
 				rep.Violations = append(rep.Violations, *v)
 			}
@@ -204,26 +190,60 @@ func check(sys System, cfg checkConfig) (Report, error) {
 			rep.Checked = i + 1
 			rep.Violations = []Violation{*v}
 			sortViolations(rep.Violations)
-			return rep, nil
+			folded = true
+			break
 		}
 	}
-	rep.Checked = len(plays)
-	sortViolations(rep.Violations)
+	if !folded {
+		rep.Checked = len(plays)
+		sortViolations(rep.Violations)
+	}
+	if cfg.VerifyPruned {
+		if err := e.verifyPruned(pruned, cfg.verifyStride()); err != nil {
+			return Report{}, err
+		}
+	}
 	return rep, nil
 }
 
-// runPlay executes one deviant play and classifies the outcome. The
-// deviation's Classes slice is copied only when a violation is
-// recorded — Classes may return a shared slice (see
-// BasicDeviation.Classes).
-func runPlay(sys System, epoched EpochedSystem, p play) playResult {
-	var out Outcome
-	var err error
-	if p.epoch >= 0 {
-		out, err = epoched.RunEpoch(p.node, p.dev, p.epoch)
-	} else {
-		out, err = sys.Run(p.node, p.dev)
+// verifyPruned replays every stride-th pruned play sequentially and
+// fails if any of them turns out profitable — the debug net under an
+// unsound PruneBound.
+func (e *engine) verifyPruned(pruned []play, stride int) error {
+	ctx := NewPlayContext(0)
+	for i := 0; i < len(pruned); i += stride {
+		p := pruned[i]
+		out, err := e.playOutcome(ctx, p)
+		if err != nil {
+			return fmt.Errorf("core: verify pruned node %d deviation %q: %w", p.node, p.dev.Name(), err)
+		}
+		if got, ok := out.Utilities[p.node]; ok && got > p.base {
+			return fmt.Errorf("core: unsound prune bound: node %d deviation %q epoch %d pruned but gains %d (baseline %d, deviant %d)",
+				p.node, p.dev.Name(), p.epoch+1, got-p.base, p.base, got)
+		}
 	}
+	return nil
+}
+
+// playOutcome executes one play against the truthful snapshot,
+// preferring the stateful fast paths.
+func (e *engine) playOutcome(ctx *PlayContext, p play) (Outcome, error) {
+	if p.epoch >= 0 {
+		if e.sepoch != nil {
+			return e.sepoch.PlayEpoch(ctx, e.st, p.node, p.dev, p.epoch)
+		}
+		return e.epoched.RunEpoch(p.node, p.dev, p.epoch)
+	}
+	return e.ss.Play(ctx, e.st, p.node, p.dev)
+}
+
+// runPlay executes one deviant play and classifies the outcome. The
+// outcome may live in the context's arena, so the deviator's utility
+// is extracted before the context is reused. The deviation's Classes
+// slice is copied only when a violation is recorded — Classes may
+// return a shared slice (see BasicDeviation.Classes).
+func (e *engine) runPlay(ctx *PlayContext, p play) playResult {
+	out, err := e.playOutcome(ctx, p)
 	if err != nil {
 		return playResult{err: fmt.Errorf("core: run node %d deviation %q: %w", p.node, p.dev.Name(), err)}
 	}

@@ -102,11 +102,23 @@ func (v Violation) String() string {
 
 // Report summarizes a faithfulness check in the paper's vocabulary.
 type Report struct {
-	// Checked is the number of (node, deviation) pairs executed.
+	// Checked is the number of plays actually executed. Without
+	// pruning this is the full grid size ((node, deviation) pairs, or
+	// triples under PerEpoch); with a PruneBound it excludes the
+	// plays the bound skipped, so Checked + Pruned is the grid.
 	Checked int
+	// Pruned is the number of plays a PruneBound proved unprofitable
+	// and the engine skipped. Always 0 without a bound. Kept separate
+	// from Checked so suite output can't silently under-report
+	// coverage.
+	Pruned int
 	// Violations lists every strictly profitable deviation.
 	Violations []Violation
 }
+
+// Total is the full grid size the search enumerated: executed plus
+// pruned plays.
+func (r Report) Total() int { return r.Checked + r.Pruned }
 
 // touches reports whether any violation involves the given class.
 func (r Report) touches(k spec.ActionKind) bool {
@@ -180,15 +192,25 @@ var ErrNotEpoched = errors.New("core: PerEpoch requires an EpochedSystem")
 // (the deviation search of experiment E6).
 //
 // With no options the search is sequential — the reference oracle.
-// Workers(k) fans the (node, deviation) runs over a pool (the System
-// must then tolerate concurrent Run calls); EarlyStop() returns at the
-// first profitable deviation in catalogue order; PerEpoch() expands
-// the grid to (node, deviation, epoch) for an EpochedSystem so each
-// epoch of a dynamic network is certified separately. The Report is
-// byte-identical for every worker count: see check.go for how the
-// engine keeps scheduling out of the output.
+// Options are the deprecated spelling of CheckConfig fields; new code
+// should call CheckFaithfulnessCfg. The Report is byte-identical for
+// every worker count: see check.go for how the engine keeps
+// scheduling out of the output.
 func CheckFaithfulness(sys System, opts ...CheckOption) (Report, error) {
 	return check(sys, applyOptions(opts))
+}
+
+// CheckFaithfulnessCfg is CheckFaithfulness with the full engine
+// configuration: worker pool, early stop, per-epoch grids, profit-
+// bound pruning (PruneBound / VerifyPruned), and play-context
+// pooling. The zero CheckConfig is the sequential reference oracle.
+//
+// When sys implements StatefulSystem, the truthful state is
+// snapshotted once and every play overlays it through a worker-owned
+// PlayContext; legacy systems are adapted transparently (AsStateful)
+// and behave exactly as before.
+func CheckFaithfulnessCfg(sys System, cfg CheckConfig) (Report, error) {
+	return check(sys, cfg)
 }
 
 // sortViolations orders violations canonically: by node, then by

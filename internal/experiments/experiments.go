@@ -345,11 +345,11 @@ func E6Faithfulness(p Params) (*Table, error) {
 		// The rational systems tolerate concurrent Run calls, so the
 		// deviation search fans over the NumCPU pool; the report is
 		// byte-identical to the sequential oracle for any worker count.
-		plainRep, err := core.CheckFaithfulness(plainSys, core.Workers(0))
+		plainRep, err := core.CheckFaithfulnessCfg(plainSys, core.CheckConfig{Workers: -1})
 		if err != nil {
 			return nil, err
 		}
-		faithRep, err := core.CheckFaithfulness(faithSys, core.Workers(0))
+		faithRep, err := core.CheckFaithfulnessCfg(faithSys, core.CheckConfig{Workers: -1})
 		if err != nil {
 			return nil, err
 		}

@@ -115,9 +115,18 @@ type mirror struct {
 	pricing   fpss.PricingTable
 }
 
-func (m *mirror) recompute(costs fpss.CostTable) {
-	m.routing = fpss.ComputeRouting(m.principal, m.neighbors, costs, m.views)
-	m.pricing = fpss.ComputePricing(m.principal, m.neighbors, costs, m.routing, m.views)
+// recompute re-derives the mirrored tables, recycling the replaced
+// ones through the owning checker's scratch: mirror tables are never
+// advertised or shared (MirrorOf clones), so the previous generation
+// is exclusively ours. Mirrors re-run on every forwarded copy, which
+// made them the dominant allocation site of a faithful deviation
+// search before recycling.
+func (m *mirror) recompute(s *fpss.ComputeScratch, costs fpss.CostTable) {
+	oldR, oldP := m.routing, m.pricing
+	m.routing = fpss.ComputeRoutingScratch(s, m.principal, m.neighbors, costs, m.views)
+	m.pricing = fpss.ComputePricingScratch(s, m.principal, m.neighbors, costs, m.routing, m.views)
+	s.RecycleRouting(oldR)
+	s.RecyclePricing(oldP)
 }
 
 // Node is a faithful-protocol participant: a principal in the core
@@ -141,6 +150,9 @@ type Node struct {
 	views   map[graph.NodeID]fpss.NeighborView
 	routing fpss.RoutingTable
 	pricing fpss.PricingTable
+	// scratch backs this node's own recomputes and those of all its
+	// mirrors (single-threaded per node; see fpss.ComputeScratch).
+	scratch fpss.ComputeScratch
 
 	mirrors  map[graph.NodeID]*mirror
 	lastSent map[graph.NodeID]fpss.Update
@@ -299,7 +311,7 @@ func (n *Node) onStartPhase2(ctx sim.Context) {
 			neighbors: n.neighborsOf[p],
 			views:     make(map[graph.NodeID]fpss.NeighborView),
 		}
-		m.recompute(n.costs)
+		m.recompute(&n.scratch, n.costs)
 		n.mirrors[p] = m
 	}
 	n.recompute(ctx, true)
@@ -373,7 +385,7 @@ func (n *Node) onForwardCopy(fc ForwardCopy) {
 		return
 	}
 	m.views[fc.From] = fpss.NeighborView{Routing: fc.U.Routing, Pricing: fc.U.Pricing}
-	m.recompute(n.costs)
+	m.recompute(&n.scratch, n.costs)
 }
 
 // recompute re-runs the suggested computation with strategy hooks and
@@ -381,17 +393,27 @@ func (n *Node) onForwardCopy(fc ForwardCopy) {
 // what was sent to each neighbor.
 func (n *Node) recompute(ctx sim.Context, force bool) {
 	s := n.strategy.protocol()
-	newRouting := fpss.ComputeRouting(n.id, n.neighbors, n.costs, n.views)
+	newRouting := fpss.ComputeRoutingScratch(&n.scratch, n.id, n.neighbors, n.costs, n.views)
 	if s != nil && s.PostRouting != nil {
 		newRouting = s.PostRouting(newRouting)
 	}
-	newPricing := fpss.ComputePricing(n.id, n.neighbors, n.costs, newRouting, n.views)
+	newPricing := fpss.ComputePricingScratch(&n.scratch, n.id, n.neighbors, n.costs, newRouting, n.views)
 	if s != nil && s.PostPricing != nil {
 		newPricing = s.PostPricing(newPricing)
 	}
 	changed := !newRouting.Equal(n.routing) || !newPricing.Equal(n.pricing)
-	n.routing = newRouting
-	n.pricing = newPricing
+	if changed {
+		// Replaced tables may be aliased (advertisements, lastSent,
+		// neighbor views/mirrors) — left to the GC.
+		n.routing = newRouting
+		n.pricing = newPricing
+	} else if s == nil || (s.PostRouting == nil && s.PostPricing == nil) {
+		// Convergence tail: the fresh tables equal the stored ones and
+		// were never visible outside this call — recycle (hook-free
+		// nodes only; a Post hook could have retained them).
+		n.scratch.RecycleRouting(newRouting)
+		n.scratch.RecyclePricing(newPricing)
+	}
 	if !changed && !force {
 		return
 	}
@@ -423,7 +445,7 @@ func (n *Node) recompute(ctx sim.Context, force bool) {
 		}
 		if m, ok := n.mirrors[v]; ok {
 			m.views[n.id] = fpss.NeighborView{Routing: u.Routing, Pricing: u.Pricing}
-			m.recompute(n.costs)
+			m.recompute(&n.scratch, n.costs)
 		}
 		ctx.Send(sim.Addr(v), u)
 	}

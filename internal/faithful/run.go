@@ -55,6 +55,15 @@ type Config struct {
 	// Flows optionally fixes the execution-phase flow order
 	// (precomputed Traffic.Flows()); nil derives it from Traffic.
 	Flows [][2]graph.NodeID
+	// Net optionally supplies a caller-owned simulator network (e.g. a
+	// worker's play-context arena), reset — not released — after the
+	// run. nil acquires from the global pool.
+	Net *sim.Network
+	// Bank optionally supplies a caller-owned bank, re-targeted with
+	// Reuse and NOT returned to the package pool — callers that want
+	// to keep the audit view alive past the run (truthful snapshots)
+	// or avoid pool contention pass one. nil uses the pool.
+	Bank *bank.Bank
 }
 
 // Topology builds the per-node adjacency and checker-assignment views
@@ -154,11 +163,19 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	authority := sign.NewAuthority()
-	theBank := bankPool.Get().(*bank.Bank)
+	theBank := cfg.Bank
+	if theBank == nil {
+		theBank = bankPool.Get().(*bank.Bank)
+		defer bankPool.Put(theBank)
+	}
 	theBank.Reuse(authority, checkersOf)
-	defer bankPool.Put(theBank)
-	net := sim.AcquireNetwork()
-	defer net.Release()
+	net := cfg.Net
+	if net == nil {
+		net = sim.AcquireNetwork()
+		defer net.Release()
+	} else {
+		defer net.Reset()
+	}
 	if err := net.Attach(fpss.BankAddr, &bankHandler{bank: theBank}); err != nil {
 		return nil, err
 	}
@@ -224,25 +241,71 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Execution phase: green-lit. Tables are certified faithful.
-	routing := make(map[graph.NodeID]fpss.RoutingTable, n)
-	pricing := make(map[graph.NodeID]fpss.PricingTable, n)
-	declared := make(fpss.CostTable, n)
-	trueCosts := make(fpss.CostTable, n)
+	st := ExecState{
+		Routing:   make(map[graph.NodeID]fpss.RoutingTable, n),
+		Pricing:   make(map[graph.NodeID]fpss.PricingTable, n),
+		Declared:  make(fpss.CostTable, n),
+		TrueCosts: make(fpss.CostTable, n),
+		Bank:      theBank,
+	}
 	reportHooks := make(map[graph.NodeID]func(fpss.PaymentList) fpss.PaymentList)
 	for id, node := range nodes {
 		// Converged-table views: the network is quiescent and Execute
 		// never mutates its inputs, so cloning here is pure garbage.
-		routing[id] = node.RoutingView()
-		pricing[id] = node.PricingView()
-		declared[id] = node.DeclaredCost()
-		trueCosts[id] = cfg.Graph.Cost(id)
+		st.Routing[id] = node.RoutingView()
+		st.Pricing[id] = node.PricingView()
+		st.Declared[id] = node.DeclaredCost()
+		st.TrueCosts[id] = cfg.Graph.Cost(id)
 		if s := cfg.Strategies[id]; s != nil && s.ReportPayment != nil {
 			reportHooks[id] = s.ReportPayment
 		}
 	}
-	exec, err := fpss.Execute(routing, pricing, fpss.ExecConfig{
-		TrueCosts:          trueCosts,
-		DeclaredCosts:      declared,
+	if err := execAndAudit(st, cfg, reportHooks, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ExecState is the certified post-construction state of a run that
+// passed the bank checkpoint: the converged table views, declared and
+// true costs, and the auditing bank. A truthful snapshot captures one
+// so that execution-phase-only deviations (payment misreports) can be
+// played as copy-on-write overlays — see ExecPlay. All fields are
+// read-only once captured; Bank's audit path only reads its node
+// list, so one state serves concurrent plays.
+type ExecState struct {
+	Routing   map[graph.NodeID]fpss.RoutingTable
+	Pricing   map[graph.NodeID]fpss.PricingTable
+	Declared  fpss.CostTable
+	TrueCosts fpss.CostTable
+	Bank      *bank.Bank
+}
+
+// ExecPlay replays only the execution phase and payment audit over a
+// certified honest state, with hooks misreporting DATA4. For a
+// deviation that leaves the construction phases untouched this is
+// byte-identical to what Run would produce (the honest construction
+// is deterministic and certified clean) — except Nodes and
+// Construction counters, which an execution-only overlay has no use
+// for. cfg supplies the economic parameters exactly as in Run.
+func ExecPlay(st ExecState, cfg Config, hooks map[graph.NodeID]func(fpss.PaymentList) fpss.PaymentList) (*Result, error) {
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 1
+	}
+	res := &Result{Utilities: make(map[graph.NodeID]int64, len(st.TrueCosts))}
+	if err := execAndAudit(st, cfg, hooks, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// execAndAudit is the shared tail of Run and ExecPlay: execution-phase
+// accounting over certified tables, then the bank's DATA4 audit with
+// settlement and ε-above penalties.
+func execAndAudit(st ExecState, cfg Config, reportHooks map[graph.NodeID]func(fpss.PaymentList) fpss.PaymentList, res *Result) error {
+	exec, err := fpss.Execute(st.Routing, st.Pricing, fpss.ExecConfig{
+		TrueCosts:          st.TrueCosts,
+		DeclaredCosts:      st.Declared,
 		Traffic:            cfg.Traffic,
 		Flows:              cfg.Flows,
 		DeliveryValue:      cfg.DeliveryValue,
@@ -251,7 +314,7 @@ func Run(cfg Config) (*Result, error) {
 		ReportPayment:      reportHooks,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("execution: %w", err)
+		return fmt.Errorf("execution: %w", err)
 	}
 	res.Exec = exec
 	res.Completed = true
@@ -262,7 +325,7 @@ func Run(cfg Config) (*Result, error) {
 	// Audit: the bank verifies DATA4 against certified pricing tables
 	// and the observed traffic; any misreport is settled to the true
 	// obligation and penalized ε above the attempted deviation.
-	res.PaymentFindings = theBank.AuditPayments(exec.Obligations, exec.Reported, cfg.Epsilon)
+	res.PaymentFindings = st.Bank.AuditPayments(exec.Obligations, exec.Reported, cfg.Epsilon)
 	for _, f := range res.PaymentFindings {
 		obligation := exec.Obligations[f.Node]
 		reported := exec.Reported[f.Node]
@@ -277,5 +340,5 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 	}
-	return res, nil
+	return nil
 }

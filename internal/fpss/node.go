@@ -120,6 +120,7 @@ type Node struct {
 	routing RoutingTable
 	pricing PricingTable
 	views   map[graph.NodeID]NeighborView
+	scratch ComputeScratch
 
 	phase2  bool
 	adverts int
@@ -249,11 +250,23 @@ func (n *Node) onUpdate(ctx sim.Context, u Update) {
 // recompute re-runs the suggested computation (with any strategy
 // post-hooks) and advertises to neighbors when something changed.
 func (n *Node) recompute(ctx sim.Context, force bool) {
-	newRouting := n.strategy.postRouting(ComputeRouting(n.id, n.neighbors, n.costs, n.views))
-	newPricing := n.strategy.postPricing(ComputePricing(n.id, n.neighbors, n.costs, newRouting, n.views))
+	s := &n.scratch
+	newRouting := n.strategy.postRouting(ComputeRoutingScratch(s, n.id, n.neighbors, n.costs, n.views))
+	newPricing := n.strategy.postPricing(ComputePricingScratch(s, n.id, n.neighbors, n.costs, newRouting, n.views))
 	changed := !newRouting.Equal(n.routing) || !newPricing.Equal(n.pricing)
-	n.routing = newRouting
-	n.pricing = newPricing
+	if changed {
+		// The replaced tables may be aliased (advertised Updates,
+		// neighbor views) and are left to the GC.
+		n.routing = newRouting
+		n.pricing = newPricing
+	} else if n.strategy == nil || (n.strategy.PostRouting == nil && n.strategy.PostPricing == nil) {
+		// Convergence-tail fast path: the fresh tables equal the stored
+		// ones and nothing else has seen them — recycle their storage.
+		// (Post hooks could have retained the computed tables, so only
+		// the hook-free node recycles.)
+		s.RecycleRouting(newRouting)
+		s.RecyclePricing(newPricing)
+	}
 	if !changed && !force {
 		return
 	}

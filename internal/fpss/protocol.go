@@ -21,6 +21,12 @@ type Config struct {
 	Strategies map[graph.NodeID]*Strategy
 	// MaxSteps bounds each phase's event deliveries (default 1<<20).
 	MaxSteps int64
+	// Net optionally supplies a caller-owned simulator network — e.g.
+	// a worker's play-context arena — handed over clean and reset
+	// (not released) after the run, so concurrent deviation searches
+	// stop contending on the global network pool. nil acquires from
+	// that pool as before.
+	Net *sim.Network
 }
 
 // Result is the outcome of running both construction phases.
@@ -48,8 +54,13 @@ func Run(cfg Config) (*Result, error) {
 	// A pooled network: deviation searches call Run once per
 	// (node, deviation) play, and recycling the handler tables and
 	// event-queue storage keeps that loop off the allocator.
-	net := sim.AcquireNetwork()
-	defer net.Release()
+	net := cfg.Net
+	if net == nil {
+		net = sim.AcquireNetwork()
+		defer net.Release()
+	} else {
+		defer net.Reset()
+	}
 	nodes := make(map[graph.NodeID]*Node, cfg.Graph.N())
 	for i := 0; i < cfg.Graph.N(); i++ {
 		id := graph.NodeID(i)

@@ -31,7 +31,15 @@ func (v NeighborView) Clone() NeighborView {
 // The function is pure — checker nodes re-run it on mirrored inputs to
 // verify a principal's computation ([CHECK1]).
 func ComputeRouting(self graph.NodeID, neighbors []graph.NodeID, costs CostTable, views map[graph.NodeID]NeighborView) RoutingTable {
-	dests := make(map[graph.NodeID]bool)
+	return ComputeRoutingScratch(nil, self, neighbors, costs, views)
+}
+
+// ComputeRoutingScratch is ComputeRouting drawing its table, entry
+// paths, and working set from s. The result is value-identical to
+// ComputeRouting; with a nil scratch it is ComputeRouting. See
+// ComputeScratch for the ownership rules.
+func ComputeRoutingScratch(s *ComputeScratch, self graph.NodeID, neighbors []graph.NodeID, costs CostTable, views map[graph.NodeID]NeighborView) RoutingTable {
+	dests := s.destSet()
 	for _, v := range neighbors {
 		dests[v] = true
 		for d := range views[v].Routing {
@@ -40,7 +48,7 @@ func ComputeRouting(self graph.NodeID, neighbors []graph.NodeID, costs CostTable
 			}
 		}
 	}
-	out := make(RoutingTable, len(dests))
+	out := s.routingTable(len(dests))
 	for j := range dests {
 		var (
 			bestCost graph.Cost
@@ -71,7 +79,7 @@ func ComputeRouting(self graph.NodeID, neighbors []graph.NodeID, costs CostTable
 			}
 		}
 		if found {
-			out[j] = RouteEntry{Dest: j, Cost: bestCost, Path: prepend(self, bestBase)}
+			out[j] = RouteEntry{Dest: j, Cost: bestCost, Path: s.prepend(self, bestBase)}
 		}
 	}
 	return out
@@ -94,13 +102,6 @@ func betterBase(c1 graph.Cost, base1 graph.Path, c2 graph.Cost, base2 graph.Path
 	return base1.Less(base2)
 }
 
-// prepend materializes self + base as a fresh path.
-func prepend(self graph.NodeID, base graph.Path) graph.Path {
-	path := make(graph.Path, 0, len(base)+1)
-	path = append(path, self)
-	return append(path, base...)
-}
-
 // ComputePricing recomputes DATA3* for `self`: for every destination j
 // in the routing table and every transit node k on LCP(self→j), the
 // avoid-k value
@@ -118,17 +119,26 @@ func prepend(self graph.NodeID, base graph.Path) graph.Path {
 //
 // Pure, for the same reason as ComputeRouting ([CHECK2]).
 func ComputePricing(self graph.NodeID, neighbors []graph.NodeID, costs CostTable, routing RoutingTable, views map[graph.NodeID]NeighborView) PricingTable {
-	out := make(PricingTable)
+	return ComputePricingScratch(nil, self, neighbors, costs, routing, views)
+}
+
+// ComputePricingScratch is ComputePricing drawing its tables, rows,
+// witness paths, and tag sets from s. The result is value-identical to
+// ComputePricing; with a nil scratch it is ComputePricing. See
+// ComputeScratch for the ownership rules.
+func ComputePricingScratch(s *ComputeScratch, self graph.NodeID, neighbors []graph.NodeID, costs CostTable, routing RoutingTable, views map[graph.NodeID]NeighborView) PricingTable {
+	out := s.pricingTable()
 	// contribs records each neighbor's avoid-k contribution for the
 	// current (j, k) so the identity-tag pass reuses the relaxation
 	// loop's values instead of recomputing them.
-	contribs := make([]contrib, 0, len(neighbors))
+	contribs := s.contribList(len(neighbors))
+	defer func() { s.keepContribs(contribs) }()
 	for j, route := range routing {
 		transits := route.Path.TransitNodes()
 		if len(transits) == 0 {
 			continue
 		}
-		row := make(map[graph.NodeID]PriceEntry, len(transits))
+		row := s.row(len(transits))
 		for _, k := range transits {
 			kc, ok := costs[k]
 			if !ok {
@@ -170,12 +180,15 @@ func ComputePricing(self graph.NodeID, neighbors []graph.NodeID, costs CostTable
 			row[k] = PriceEntry{
 				Transit: k,
 				Price:   kc + bestCost - route.Cost,
-				Avoid:   prepend(self, bestBase),
-				Tags:    tagSet(bestCost, contribs),
+				Avoid:   s.prepend(self, bestBase),
+				Tags:    tagSet(s, bestCost, contribs),
 			}
 		}
 		if len(row) > 0 {
 			out[j] = row
+		} else if s != nil {
+			// No priceable transit yet: hand the empty row straight back.
+			s.rows = append(s.rows, row)
 		}
 	}
 	return out
@@ -224,9 +237,16 @@ type contrib struct {
 
 // tagSet returns the sorted union of neighbors whose contribution cost
 // equals the chosen minimum b, straight from the relaxation loop's
-// recorded contributions.
-func tagSet(b graph.Cost, contribs []contrib) []graph.NodeID {
-	var tags []graph.NodeID
+// recorded contributions. The set is carved from the scratch arena
+// when one is supplied.
+func tagSet(s *ComputeScratch, b graph.Cost, contribs []contrib) []graph.NodeID {
+	n := 0
+	for _, c := range contribs {
+		if c.cost == b {
+			n++
+		}
+	}
+	tags := s.allocIDs(n)
 	for _, c := range contribs {
 		if c.cost == b {
 			tags = append(tags, c.v)

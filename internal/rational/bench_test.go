@@ -33,11 +33,7 @@ func BenchmarkCheckFaithfulness(b *testing.B) {
 				b.ReportAllocs()
 				checked := 0
 				for i := 0; i < b.N; i++ {
-					var opts []core.CheckOption
-					if w > 1 {
-						opts = append(opts, core.Workers(w))
-					}
-					rep, err := core.CheckFaithfulness(sc.mk(), opts...)
+					rep, err := core.CheckFaithfulnessCfg(sc.mk(), core.CheckConfig{Workers: w})
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -40,6 +40,20 @@ type Deviation struct {
 	checker func(Ctx) *faithful.Strategy
 	// faithfulOnly marks deviations meaningless in plain FPSS.
 	faithfulOnly bool
+	// boundedExec marks catalogue-built execution-only deviations
+	// whose report hook never emits negative amounts, which is what
+	// makes the static plain-protocol profit bound (baseline + honest
+	// obligations) sound. Custom NewDeviation entries never set it —
+	// an arbitrary hook voids the bound.
+	boundedExec bool
+}
+
+// ExecOnly reports whether the deviation touches only the execution
+// phase (a DATA4 misreport), leaving both construction phases and the
+// checker layer untouched. Such deviations replay against a truthful
+// snapshot without re-running the protocol.
+func (d *Deviation) ExecOnly() bool {
+	return d.protocol == nil && d.checker == nil && d.reportPayment != nil
 }
 
 // Parts are the realizations of a custom deviation, mirroring the
@@ -268,11 +282,13 @@ func Catalogue(forFaithful bool) []*Deviation {
 		{
 			name:          "underreport-payments-all",
 			classes:       []spec.ActionKind{spec.Computation},
+			boundedExec:   true,
 			reportPayment: func(fpss.PaymentList) fpss.PaymentList { return fpss.PaymentList{} },
 		},
 		{
-			name:    "underreport-payments-half",
-			classes: []spec.ActionKind{spec.Computation},
+			name:        "underreport-payments-half",
+			classes:     []spec.ActionKind{spec.Computation},
+			boundedExec: true,
 			reportPayment: func(t fpss.PaymentList) fpss.PaymentList {
 				out := make(fpss.PaymentList, len(t))
 				for k, v := range t {

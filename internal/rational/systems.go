@@ -98,6 +98,11 @@ type PlainSystem struct {
 	Params Params
 
 	scen scenario
+
+	// Truthful snapshot (stateful.go), built once on first Snapshot.
+	snapOnce sync.Once
+	snap     *plainState
+	snapErr  error
 }
 
 var _ core.System = (*PlainSystem)(nil)
@@ -118,29 +123,41 @@ func (s *PlainSystem) Deviations(core.NodeID) []core.Deviation {
 // Run implements core.System.
 func (s *PlainSystem) Run(deviator core.NodeID, dev core.Deviation) (core.Outcome, error) {
 	s.scen.init(s.Graph, s.Params, false)
-	var strategies map[graph.NodeID]*fpss.Strategy
-	var reportHooks map[graph.NodeID]func(fpss.PaymentList) fpss.PaymentList
+	var d *Deviation
 	if dev != nil && deviator >= 0 {
-		d, ok := dev.(*Deviation)
-		if !ok {
+		var ok bool
+		if d, ok = dev.(*Deviation); !ok {
 			return core.Outcome{}, fmt.Errorf("rational: foreign deviation %q", dev.Name())
 		}
+	}
+	return s.play(deviator, d, nil)
+}
+
+// play is the shared body of Run and the arena-backed Play: a nil
+// arena allocates fresh (legacy Run semantics), a worker arena reuses
+// its network and per-play maps.
+func (s *PlainSystem) play(deviator core.NodeID, d *Deviation, ar *playArena) (core.Outcome, error) {
+	var strategies map[graph.NodeID]*fpss.Strategy
+	var reportHooks map[graph.NodeID]func(fpss.PaymentList) fpss.PaymentList
+	if d != nil && deviator >= 0 {
 		node := graph.NodeID(deviator)
 		ctx := Ctx{Graph: s.Graph, Node: node}
 		if d.protocol != nil {
-			strategies = map[graph.NodeID]*fpss.Strategy{node: d.protocol(ctx)}
+			strategies = ar.plainStrategies()
+			strategies[node] = d.protocol(ctx)
 		}
 		if d.reportPayment != nil {
-			reportHooks = map[graph.NodeID]func(fpss.PaymentList) fpss.PaymentList{node: d.reportPayment}
+			reportHooks = ar.reportHooks()
+			reportHooks[node] = d.reportPayment
 		}
 	}
-	res, err := fpss.Run(fpss.Config{Graph: s.Graph, Strategies: strategies})
+	res, err := fpss.Run(fpss.Config{Graph: s.Graph, Strategies: strategies, Net: ar.network()})
 	if err != nil {
 		return core.Outcome{}, fmt.Errorf("plain run: %w", err)
 	}
-	routing := make(map[graph.NodeID]fpss.RoutingTable, len(res.Nodes))
-	pricing := make(map[graph.NodeID]fpss.PricingTable, len(res.Nodes))
-	declared := make(fpss.CostTable, len(res.Nodes))
+	routing := ar.routingViews(len(res.Nodes))
+	pricing := ar.pricingViews(len(res.Nodes))
+	declared := ar.declaredCosts(len(res.Nodes))
 	for id, node := range res.Nodes {
 		// Quiescent-network views: Execute treats tables as read-only.
 		routing[id] = node.RoutingView()
@@ -160,7 +177,7 @@ func (s *PlainSystem) Run(deviator core.NodeID, dev core.Deviation) (core.Outcom
 	if err != nil {
 		return core.Outcome{}, fmt.Errorf("plain execute: %w", err)
 	}
-	out := core.Outcome{Utilities: make(map[core.NodeID]int64, len(exec.Utilities)), Completed: true}
+	out := core.Outcome{Utilities: ar.outcome(len(exec.Utilities)), Completed: true}
 	for id, u := range exec.Utilities {
 		out.Utilities[core.NodeID(id)] = u
 	}
@@ -175,6 +192,11 @@ type FaithfulSystem struct {
 	Params Params
 
 	scen scenario
+
+	// Truthful snapshot (stateful.go), built once on first Snapshot.
+	snapOnce sync.Once
+	snap     *faithfulState
+	snapErr  error
 }
 
 var _ core.System = (*FaithfulSystem)(nil)
@@ -195,12 +217,21 @@ func (s *FaithfulSystem) Deviations(core.NodeID) []core.Deviation {
 // Run implements core.System.
 func (s *FaithfulSystem) Run(deviator core.NodeID, dev core.Deviation) (core.Outcome, error) {
 	s.scen.init(s.Graph, s.Params, true)
-	var strategies map[graph.NodeID]*faithful.Strategy
+	var d *Deviation
 	if dev != nil && deviator >= 0 {
-		d, ok := dev.(*Deviation)
-		if !ok {
+		var ok bool
+		if d, ok = dev.(*Deviation); !ok {
 			return core.Outcome{}, fmt.Errorf("rational: foreign deviation %q", dev.Name())
 		}
+	}
+	return s.play(deviator, d, nil)
+}
+
+// play is the shared body of Run and the arena-backed Play (see
+// PlainSystem.play).
+func (s *FaithfulSystem) play(deviator core.NodeID, d *Deviation, ar *playArena) (core.Outcome, error) {
+	var strategies map[graph.NodeID]*faithful.Strategy
+	if d != nil && deviator >= 0 {
 		node := graph.NodeID(deviator)
 		ctx := Ctx{Graph: s.Graph, Node: node}
 		st := &faithful.Strategy{}
@@ -217,38 +248,12 @@ func (s *FaithfulSystem) Run(deviator core.NodeID, dev core.Deviation) (core.Out
 		if d.reportPayment != nil {
 			st.ReportPayment = d.reportPayment
 		}
-		strategies = map[graph.NodeID]*faithful.Strategy{node: st}
+		strategies = ar.faithfulStrategies()
+		strategies[node] = st
 	}
-	res, err := faithful.Run(faithful.Config{
-		Graph:              s.Graph,
-		Strategies:         strategies,
-		Traffic:            s.Params.Traffic,
-		Flows:              s.scen.flows,
-		Neighbors:          s.scen.neighbors,
-		Checkers:           s.scen.checkers,
-		DeliveryValue:      s.Params.DeliveryValue,
-		UndeliveredPenalty: s.Params.UndeliveredPenalty,
-		NonProgressPenalty: s.Params.NonProgressPenalty,
-		Epsilon:            s.Params.Epsilon,
-		CheckerLimit:       s.Params.CheckerLimit,
-	})
+	res, err := faithful.Run(s.runConfig(strategies, ar.network(), ar.auditBank()))
 	if err != nil {
 		return core.Outcome{}, fmt.Errorf("faithful run: %w", err)
 	}
-	out := core.Outcome{
-		Utilities: make(map[core.NodeID]int64, len(res.Utilities)),
-		Completed: res.Completed,
-	}
-	for id, u := range res.Utilities {
-		out.Utilities[core.NodeID(id)] = u
-	}
-	for _, det := range res.Detections {
-		if det.Principal >= 0 {
-			out.Detected = append(out.Detected, core.NodeID(det.Principal))
-		}
-	}
-	for _, f := range res.PaymentFindings {
-		out.Detected = append(out.Detected, core.NodeID(f.Node))
-	}
-	return out, nil
+	return outcomeOf(res, ar.outcome(len(res.Utilities))), nil
 }
