@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"strconv"
 	"testing"
 
@@ -160,6 +161,73 @@ func BenchmarkSuiteCheck(b *testing.B) {
 			b.ReportMetric(float64(plainViolations), "plain-violations")
 		})
 	}
+}
+
+// BenchmarkLoss is the lossy-links perf ladder: the honest rungs time
+// a faithful-protocol run under increasing drop rates (the retry
+// envelope's cost is extra events and delay, reported as the retry and
+// drop counts), and the check rung times the full two-sided deviation
+// search — enlarged catalogue included — on one lossy scenario.
+// Published as BENCH_loss.json with a committed baseline.
+func BenchmarkLoss(b *testing.B) {
+	rungs := []scenario.Loss{
+		{},                     // reliable control
+		{Rate: 0.05},           // light i.i.d. loss
+		{Rate: 0.15, Burst: 3}, // moderate bursty loss
+		{Rate: 0.25, Burst: 4}, // the tolerable-threshold rung
+	}
+	for _, loss := range rungs {
+		loss := loss
+		b.Run(fmt.Sprintf("honest/rate=%g,burst=%g", loss.Rate, loss.Burst), func(b *testing.B) {
+			sp := scenario.Spec{Family: scenario.Random, N: 8, Seed: 1, Loss: loss}
+			c, err := sp.Compile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var dropped, retried float64
+			for i := 0; i < b.N; i++ {
+				res, err := faithful.Run(c.FaithfulConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Completed || res.Construction.Lost != 0 {
+					b.Fatalf("honest lossy run not green-lit on %s: completed=%v lost=%d",
+						sp.Describe(), res.Completed, res.Construction.Lost)
+				}
+				dropped = float64(res.Construction.Dropped)
+				retried = float64(res.Construction.Retried)
+			}
+			b.ReportMetric(dropped, "drops")
+			b.ReportMetric(retried, "retries")
+		})
+	}
+	b.Run("check/rate=0.1,burst=3", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("deviation searches are the slow lane")
+		}
+		sp := scenario.Spec{Family: scenario.Random, N: 6, Seed: 1, Loss: scenario.Loss{Rate: 0.1, Burst: 3}}
+		var checked int
+		for i := 0; i < b.N; i++ {
+			c, err := sp.Compile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			plainSys, faithSys := c.Systems()
+			plainRep, err := core.CheckFaithfulnessCfg(plainSys, core.CheckConfig{Workers: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			faithRep, err := core.CheckFaithfulnessCfg(faithSys, core.CheckConfig{Workers: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !faithRep.Faithful() {
+				b.Fatalf("%s: faithful spec violated: %v", sp.Describe(), faithRep.Violations)
+			}
+			checked = plainRep.Checked + faithRep.Checked
+		}
+		b.ReportMetric(float64(checked), "plays")
+	})
 }
 
 // BenchmarkE1Figure1 regenerates Figure 1's lowest-cost paths.

@@ -15,6 +15,8 @@
 //	faithcheck -first-violation                 # stop at the first profitable deviation
 //	faithcheck -n 8 -epochs 3                   # churn: replay the grid per epoch
 //	faithcheck -suite churn -seed 1             # the epoch-dynamics suite
+//	faithcheck -n 6 -loss 0.1 -burst 3          # lossy links: bursty seeded drops
+//	faithcheck -suite loss -seed 1              # the lossy-links suite
 //
 // With -epochs > 1 (or a suite whose specs carry a churn axis) the
 // scenario becomes a timeline: nodes join and leave between
@@ -57,17 +59,22 @@ func run(args []string) error {
 	joins := fs.Int("joins", 1, "churn: node arrivals per epoch boundary")
 	leaves := fs.Int("leaves", 1, "churn: node departures per epoch boundary")
 	redraw := fs.Float64("redraw", 0.25, "churn: per-boundary cost re-draw probability for surviving nodes")
+	lossRate := fs.Float64("loss", 0, "lossy links: per-attempt drop rate in [0, 1) (0 = reliable network)")
+	burst := fs.Float64("burst", 0, "lossy links: mean loss-burst length in messages (requires -loss; <= 1 = independent drops)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	// Churn flags must never be silently ignored — a static result
-	// masquerading as a dynamics result is worse than an error. Track
-	// which were explicitly set.
+	// Churn and loss flags must never be silently ignored — a reliable
+	// or static result masquerading as a failure-axis result is worse
+	// than an error. Track which were explicitly set.
 	churnFlags := map[string]bool{}
+	lossFlags := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "epochs", "joins", "leaves", "redraw":
 			churnFlags[f.Name] = true
+		case "loss", "burst":
+			lossFlags[f.Name] = true
 		}
 	})
 	cfg := core.CheckConfig{Workers: *workers, EarlyStop: *first}
@@ -80,9 +87,12 @@ func run(args []string) error {
 	}
 
 	if *suite != "" {
-		// A suite's churn axis comes from its definition.
+		// A suite's churn and loss axes come from its definition.
 		if len(churnFlags) > 0 {
 			return fmt.Errorf("churn flags (-epochs/-joins/-leaves/-redraw) apply to single scenarios; suites define their own churn axis (try -suite churn)")
+		}
+		if len(lossFlags) > 0 {
+			return fmt.Errorf("loss flags (-loss/-burst) apply to single scenarios; suites define their own loss axis (try -suite loss)")
 		}
 		return runSuite(*suite, *seed, cfg)
 	}
@@ -100,10 +110,22 @@ func run(args []string) error {
 			return fmt.Errorf("-redraw is a probability, got %g", *redraw)
 		}
 	}
+	if lossFlags["burst"] && !lossFlags["loss"] {
+		return fmt.Errorf("-burst takes effect only with -loss")
+	}
+	if lossFlags["loss"] && (*lossRate < 0 || *lossRate >= 1) {
+		return fmt.Errorf("-loss is a drop rate in [0, 1), got %g", *lossRate)
+	}
+	if lossFlags["burst"] && *burst < 1 {
+		return fmt.Errorf("-burst is a mean burst length >= 1, got %g", *burst)
+	}
 
 	spec, err := specFromFlags(*topology, *n, *workload, *costs, *seed)
 	if err != nil {
 		return err
+	}
+	if lossFlags["loss"] {
+		spec.Loss = scenario.Loss{Rate: *lossRate, Burst: *burst}
 	}
 	if *epochs > 1 {
 		spec.Churn = scenario.Churn{Epochs: *epochs, Joins: *joins, Leaves: *leaves, RedrawFraction: *redraw}

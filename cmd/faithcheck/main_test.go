@@ -29,6 +29,24 @@ func TestRunChurnScenario(t *testing.T) {
 	}
 }
 
+func TestRunLossScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full deviation search")
+	}
+	if err := run([]string{"-n", "4", "-seed", "2", "-loss", "0.1", "-burst", "3"}); err != nil {
+		t.Fatalf("faithcheck -loss: %v", err)
+	}
+}
+
+func TestRunLossChurnScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full per-epoch deviation search")
+	}
+	if err := run([]string{"-n", "5", "-seed", "2", "-epochs", "2", "-loss", "0.1"}); err != nil {
+		t.Fatalf("faithcheck -epochs -loss: %v", err)
+	}
+}
+
 func TestRunSuiteList(t *testing.T) {
 	if err := run([]string{"-suite", "list"}); err != nil {
 		t.Fatalf("faithcheck -suite list: %v", err)
@@ -60,6 +78,17 @@ func TestRunBadScenario(t *testing.T) {
 		{"-n", "5", "-epochs", "0"},
 		{"-n", "5", "-epochs", "3", "-leaves", "-1"},
 		{"-n", "5", "-epochs", "3", "-redraw", "1.5"},
+		// Loss flags are single-scenario only; a suite sweep must not
+		// silently ignore them either.
+		{"-suite", "smoke", "-loss", "0.1"},
+		{"-suite", "loss", "-burst", "3"},
+		// -burst without -loss does nothing — reject rather than run a
+		// reliable check the user thinks is lossy.
+		{"-n", "5", "-burst", "3"},
+		// Invalid loss values must error, not silently clamp.
+		{"-n", "5", "-loss", "1.0"},
+		{"-n", "5", "-loss", "-0.1"},
+		{"-n", "5", "-loss", "0.1", "-burst", "0.5"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

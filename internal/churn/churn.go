@@ -309,6 +309,12 @@ func evolve(sp scenario.Spec, prev *Epoch, index int, nextID *Identity, costFn g
 		return nil, err
 	}
 	next.Compiled = sp.Materialize(g, traffic)
+	if sp.Loss.Enabled() {
+		// Re-salt the drop schedule per epoch: a boundary re-run must
+		// not replay epoch 0's exact drops. Epoch 0 itself goes through
+		// Spec.Compile and keeps the static schedule.
+		next.Compiled.Params.Loss = sp.LossModelForEpoch(next.Index)
+	}
 	return next, nil
 }
 
@@ -320,7 +326,7 @@ func evolve(sp scenario.Spec, prev *Epoch, index int, nextID *Identity, costFn g
 // serves both.
 func (e *Epoch) honestTables() (map[Identity]fpss.RoutingTable, map[Identity]fpss.PricingTable, error) {
 	e.tablesOnce.Do(func() {
-		res, err := fpss.Run(fpss.Config{Graph: e.Compiled.Graph})
+		res, err := fpss.Run(fpss.Config{Graph: e.Compiled.Graph, Loss: e.Compiled.Params.Loss})
 		if err != nil {
 			e.tablesErr = err
 			return

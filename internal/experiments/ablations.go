@@ -100,7 +100,7 @@ func E12Failstop(Params) (*Table, error) {
 		// E12 charges crashes only through non-progress, never per
 		// stranded packet — keep the pre-scenario accounting.
 		cfg.UndeliveredPenalty = 0
-		cfg.Strategies = map[graph.NodeID]*faithful.Strategy{id: {SilentFromPhase2: true}}
+		cfg.Failstop = []graph.NodeID{id}
 		res, err := faithful.Run(cfg)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/faithful"
+	"repro/internal/graph"
+	"repro/internal/scenario"
+)
+
+// TestE12FailstopMatchesInlineStrategy is the differential oracle for
+// the declarative Config.Failstop path E12 now uses: for every node it
+// must produce exactly the outcome the old inline
+// SilentFromPhase2-strategy construction did — same green-light, same
+// detections, same utilities. (Same pattern PR 2 used to pin the
+// Dijkstra rewrite to the reference implementation.)
+func TestE12FailstopMatchesInlineStrategy(t *testing.T) {
+	sc, err := scenario.Spec{Family: scenario.Figure1}.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sc.Graph.N(); i++ {
+		id := graph.NodeID(i)
+
+		declarative := sc.FaithfulConfig()
+		declarative.UndeliveredPenalty = 0
+		declarative.Failstop = []graph.NodeID{id}
+		got, err := faithful.Run(declarative)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		inline := sc.FaithfulConfig()
+		inline.UndeliveredPenalty = 0
+		inline.Strategies = map[graph.NodeID]*faithful.Strategy{id: {SilentFromPhase2: true}}
+		want, err := faithful.Run(inline)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if got.Completed != want.Completed {
+			t.Errorf("node %s: Completed %v vs inline %v", sc.Graph.Name(id), got.Completed, want.Completed)
+		}
+		if !reflect.DeepEqual(got.Detections, want.Detections) {
+			t.Errorf("node %s: Detections %v vs inline %v", sc.Graph.Name(id), got.Detections, want.Detections)
+		}
+		if !reflect.DeepEqual(got.Utilities, want.Utilities) {
+			t.Errorf("node %s: Utilities %v vs inline %v", sc.Graph.Name(id), got.Utilities, want.Utilities)
+		}
+	}
+}
+
+// TestFailstopMergesOverStrategy pins the merge semantics: a node that
+// is both failstopped and assigned a strategy keeps the strategy's
+// other hooks while going silent.
+func TestFailstopMergesOverStrategy(t *testing.T) {
+	sc, err := scenario.Spec{Family: scenario.Figure1}.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := graph.NodeID(0)
+	cfg := sc.FaithfulConfig()
+	cfg.UndeliveredPenalty = 0
+	supplied := &faithful.Strategy{}
+	cfg.Strategies = map[graph.NodeID]*faithful.Strategy{id: supplied}
+	cfg.Failstop = []graph.NodeID{id}
+	res, err := faithful.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Error("failstopped node green-lit")
+	}
+	if supplied.SilentFromPhase2 {
+		t.Error("Failstop merge mutated the caller's Strategy value")
+	}
+}

@@ -1,0 +1,176 @@
+package faithful
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/fpss"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// TestHonestLossSweepZeroFalsePositives is the zero-FP acceptance
+// gate: across a seeded sweep of topologies and sub-threshold loss
+// rates (up to MaxTolerableLoss, bursty and i.i.d.), an all-honest run
+// must always green-light with no detections and no permanent losses —
+// the retry envelope absorbs every drop before the checkpoint looks.
+func TestHonestLossSweepZeroFalsePositives(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	rates := []float64{0.05, 0.15, MaxTolerableLoss}
+	bursts := []float64{0, 4}
+	sawDrops := false
+	trial := 0
+	for round := 0; round < 6; round++ {
+		var g *graph.Graph
+		var err error
+		if round == 0 {
+			g = graph.Figure1()
+		} else {
+			g, err = graph.RandomBiconnected(4+rng.Intn(4), rng.Intn(4), 8, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, rate := range rates {
+			for _, burst := range bursts {
+				trial++
+				cfg := baseConfig(g)
+				cfg.Loss = sim.LossModel{Rate: rate, Burst: burst, Seed: uint64(trial)}
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Construction.Lost != 0 {
+					t.Errorf("trial %d (rate=%g burst=%g): %d messages permanently lost below threshold",
+						trial, rate, burst, res.Construction.Lost)
+				}
+				if !res.Completed || len(res.Detections) != 0 {
+					t.Errorf("trial %d (rate=%g burst=%g): honest lossy run flagged: completed=%v detections=%v",
+						trial, rate, burst, res.Completed, res.Detections)
+				}
+				if res.Construction.Dropped > 0 {
+					sawDrops = true
+				}
+			}
+		}
+	}
+	if !sawDrops {
+		t.Fatal("sweep never exercised the drop model")
+	}
+}
+
+// TestLossBeyondThresholdAttributedToNetwork: when the drop model is
+// cranked past what the retry envelope can absorb (every message gets
+// one attempt at 90% loss), the run must fail loudly — non-progress
+// with an explicit network attribution — and must NOT blame any node.
+func TestLossBeyondThresholdAttributedToNetwork(t *testing.T) {
+	g := graph.Figure1()
+	cfg := baseConfig(g)
+	cfg.Loss = sim.LossModel{Rate: 0.9, Seed: 3, Attempts: 1}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("90% loss with one attempt should not green-light")
+	}
+	if res.Construction.Lost == 0 {
+		t.Fatal("expected permanent losses")
+	}
+	for _, d := range res.Detections {
+		if d.Principal != -1 {
+			t.Errorf("node %v blamed for network loss: %s", d.Principal, d.Reason)
+		}
+	}
+	// The reason must say what happened — the "fail loudly" half.
+	found := false
+	for _, d := range res.Detections {
+		if strings.Contains(d.Reason, "attributing to the network") {
+			found = true
+		}
+	}
+	if found == false && len(res.Detections) > 0 {
+		// A wedged phase (budget exhaustion) is the other loud path.
+		found = strings.Contains(res.Detections[0].Reason, "did not quiesce")
+	}
+	if !found {
+		t.Errorf("no network attribution in detections: %v", res.Detections)
+	}
+}
+
+// TestDeliberateDroppingStillCaughtUnderLoss: a deviator that
+// selectively drops its advertisements cannot hide behind an enabled
+// (sub-threshold) loss model — handler-level drops never increment the
+// network's Lost counter, so the checkpoint detection stands and names
+// the deviator.
+func TestDeliberateDroppingStillCaughtUnderLoss(t *testing.T) {
+	g := graph.Figure1()
+	deviator := graph.NodeID(2) // C: well-connected interior node
+	cfg := baseConfig(g)
+	cfg.Loss = sim.LossModel{Rate: 0.15, Burst: 3, Seed: 7}
+	cfg.Strategies = map[graph.NodeID]*Strategy{deviator: {
+		Protocol: fpss.Strategy{SendUpdate: func(graph.NodeID, fpss.Update) (fpss.Update, bool) {
+			return fpss.Update{}, false
+		}},
+	}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("advert-dropping deviator green-lit under loss")
+	}
+	if res.Construction.Lost != 0 {
+		t.Fatalf("sub-threshold loss should have no permanent losses, got %d", res.Construction.Lost)
+	}
+	named := false
+	for _, d := range res.Detections {
+		if d.Principal == deviator {
+			named = true
+		}
+	}
+	if !named {
+		t.Errorf("deviator %v not named in detections: %v", deviator, res.Detections)
+	}
+}
+
+// TestAckWithholdingCaughtUnderLoss: the receiver-side twin — a node
+// that discards a neighbor's updates and lets the sender's retries
+// take the blame. The victim is one of the deviator's checkers and
+// applies its own sends to its mirror, so the deviator's stale
+// advertisement diverges at the checkpoint.
+func TestAckWithholdingCaughtUnderLoss(t *testing.T) {
+	g := graph.Figure1()
+	deviator := graph.NodeID(2)
+	victim := g.Neighbors(deviator)[0]
+	cfg := baseConfig(g)
+	cfg.Loss = sim.LossModel{Rate: 0.15, Burst: 3, Seed: 9}
+	cfg.Strategies = map[graph.NodeID]*Strategy{deviator: {
+		Protocol: fpss.Strategy{RecvUpdate: func(u fpss.Update) (fpss.Update, bool) {
+			if u.From == victim {
+				return fpss.Update{}, false
+			}
+			return u, true
+		}},
+	}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("ack-withholding deviator green-lit under loss")
+	}
+	if res.Construction.Lost != 0 {
+		t.Fatalf("sub-threshold loss should have no permanent losses, got %d", res.Construction.Lost)
+	}
+	named := false
+	for _, d := range res.Detections {
+		if d.Principal == deviator {
+			named = true
+		}
+	}
+	if !named {
+		t.Errorf("deviator %v not named in detections: %v", deviator, res.Detections)
+	}
+}

@@ -338,6 +338,14 @@ func (n *Node) onStartPhase2(ctx sim.Context) {
 // onStateRequest), where no update is still in flight — comparing
 // mid-convergence would false-flag honest transients.
 func (n *Node) onUpdate(ctx sim.Context, u fpss.Update) {
+	if s := n.strategy.protocol(); s != nil && s.RecvUpdate != nil {
+		// Ack withholding: the receiver discards the update and pretends
+		// the network lost it — neither stored, forwarded nor recomputed.
+		var ok bool
+		if u, ok = s.RecvUpdate(u); !ok {
+			return
+		}
+	}
 	if !n.phase2 {
 		n.phase2 = true
 	}

@@ -18,6 +18,17 @@ import (
 // (bank.Reuse clears them in place instead of reallocating).
 var bankPool = sync.Pool{New: func() any { return new(bank.Bank) }}
 
+// MaxTolerableLoss is the documented per-attempt drop-rate threshold
+// below which the retry envelope keeps honest runs effectively
+// reliable: with the default 10-attempt budget a message is
+// permanently lost with probability Rate^10 ≤ 0.25^10 ≈ 9.5e-7, so a
+// clean run's Lost counter is zero for every practical schedule. At or
+// below this rate a failed checkpoint with Lost > 0 is attributed to
+// the network (loud non-progress, nobody blamed); deliberate dropping
+// never increments Lost — handler-level drops are invisible to the
+// counter — so deviations stay attributable to nodes.
+const MaxTolerableLoss = 0.25
+
 // Config parameterizes a faithful-protocol run.
 type Config struct {
 	// Graph is the true topology and true transit costs.
@@ -25,6 +36,19 @@ type Config struct {
 	// Strategies assigns deviations; nil entries follow the suggested
 	// specification.
 	Strategies map[graph.NodeID]*Strategy
+	// Failstop lists nodes that crash at the phase-1/phase-2 boundary
+	// (§5's failstop discussion, ablation E12): they go silent from
+	// phase 2 on, which the checkpoint then attributes as deviation —
+	// the paper's point that the construction cannot tell failure from
+	// manipulation. Declarative sugar for a SilentFromPhase2 strategy,
+	// merged over any per-node Strategy entry.
+	Failstop []graph.NodeID
+	// Loss installs a seeded per-link drop model with a bounded retry
+	// envelope (sim.LossModel); the zero value is a reliable network.
+	// At rates ≤ MaxTolerableLoss honest runs complete cleanly; beyond
+	// it a wedged checkpoint with permanent losses is reported as
+	// network-attributed non-progress rather than blaming nodes.
+	Loss sim.LossModel
 	// Traffic is the execution-phase demand matrix.
 	Traffic fpss.Traffic
 	// DeliveryValue / UndeliveredPenalty parameterize source utility.
@@ -176,8 +200,29 @@ func Run(cfg Config) (*Result, error) {
 	} else {
 		defer net.Reset()
 	}
+	if cfg.Loss.Enabled() {
+		net.SetLoss(cfg.Loss)
+	}
 	if err := net.Attach(fpss.BankAddr, &bankHandler{bank: theBank}); err != nil {
 		return nil, err
+	}
+	// Merge the declarative failstop list over the strategy map: a
+	// failstopped node runs phase 1 faithfully and then goes silent,
+	// exactly as an explicit SilentFromPhase2 strategy would.
+	strategies := cfg.Strategies
+	if len(cfg.Failstop) > 0 {
+		strategies = make(map[graph.NodeID]*Strategy, len(cfg.Strategies)+len(cfg.Failstop))
+		for id, s := range cfg.Strategies {
+			strategies[id] = s
+		}
+		for _, id := range cfg.Failstop {
+			cp := Strategy{SilentFromPhase2: true}
+			if s := strategies[id]; s != nil {
+				cp = *s
+				cp.SilentFromPhase2 = true
+			}
+			strategies[id] = &cp
+		}
 	}
 	nodes := make(map[graph.NodeID]*Node, n)
 	for i := 0; i < n; i++ {
@@ -186,7 +231,7 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("register signer %d: %w", id, err)
 		}
-		node := NewNode(id, cfg.Graph.Cost(id), neighborsOf, checkersOf, cfg.Strategies[id], signer)
+		node := NewNode(id, cfg.Graph.Cost(id), neighborsOf, checkersOf, strategies[id], signer)
 		nodes[id] = node
 		if err := net.Attach(sim.Addr(id), node); err != nil {
 			return nil, fmt.Errorf("attach %d: %w", id, err)
@@ -237,6 +282,18 @@ func Run(cfg Config) (*Result, error) {
 	res.Construction = net.Counters()
 	res.Detections = theBank.VerifyConstruction()
 	if len(res.Detections) > 0 {
+		if lost := res.Construction.Lost; lost > 0 {
+			// Attribution under loss (§5): a checkpoint failure in a run
+			// where the network permanently lost messages cannot be
+			// pinned on nodes — a missing report or a stale mirror is
+			// exactly what an omission fault looks like. Deliberate
+			// dropping never increments Lost (handler-level drops are
+			// not network events), so this path only absorbs genuine
+			// network faults: fail loudly, blame nobody.
+			res.Detections = res.Detections[:0]
+			return nonProgress(fmt.Sprintf(
+				"construction checkpoint failed with %d messages permanently lost: attributing to the network, not to nodes", lost)), nil
+		}
 		return nonProgress(""), nil
 	}
 
@@ -256,7 +313,7 @@ func Run(cfg Config) (*Result, error) {
 		st.Pricing[id] = node.PricingView()
 		st.Declared[id] = node.DeclaredCost()
 		st.TrueCosts[id] = cfg.Graph.Cost(id)
-		if s := cfg.Strategies[id]; s != nil && s.ReportPayment != nil {
+		if s := strategies[id]; s != nil && s.ReportPayment != nil {
 			reportHooks[id] = s.ReportPayment
 		}
 	}

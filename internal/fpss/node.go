@@ -70,6 +70,11 @@ type Strategy struct {
 	// SendUpdate intercepts an outgoing Update to a neighbor;
 	// returning ok=false drops it (message passing; manipulations 1,3).
 	SendUpdate func(to graph.NodeID, u Update) (Update, bool)
+	// RecvUpdate intercepts an incoming Update before it is applied;
+	// returning ok=false discards it — the receiver pretends the
+	// network lost it (message passing; ack withholding under a lossy
+	// failure model).
+	RecvUpdate func(u Update) (Update, bool)
 }
 
 func (s *Strategy) declareCost(truth graph.Cost) graph.Cost {
@@ -105,6 +110,13 @@ func (s *Strategy) sendUpdate(to graph.NodeID, u Update) (Update, bool) {
 		return u, true
 	}
 	return s.SendUpdate(to, u)
+}
+
+func (s *Strategy) recvUpdate(u Update) (Update, bool) {
+	if s == nil || s.RecvUpdate == nil {
+		return u, true
+	}
+	return s.RecvUpdate(u)
 }
 
 // Node is one FPSS participant attached to the simulator. It executes
@@ -239,6 +251,10 @@ func (n *Node) onStartPhase2(ctx sim.Context) {
 }
 
 func (n *Node) onUpdate(ctx sim.Context, u Update) {
+	var ok bool
+	if u, ok = n.strategy.recvUpdate(u); !ok {
+		return
+	}
 	if !n.phase2 {
 		// Late-start robustness: an update implies phase 2 has begun.
 		n.phase2 = true

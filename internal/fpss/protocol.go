@@ -21,6 +21,11 @@ type Config struct {
 	Strategies map[graph.NodeID]*Strategy
 	// MaxSteps bounds each phase's event deliveries (default 1<<20).
 	MaxSteps int64
+	// Loss installs a seeded per-link drop model with a bounded retry
+	// envelope (see sim.LossModel). The zero value is a reliable
+	// network. Permanent losses surface in the phase counters' Lost
+	// field; callers that need loss-vs-deviation attribution check it.
+	Loss sim.LossModel
 	// Net optionally supplies a caller-owned simulator network — e.g.
 	// a worker's play-context arena — handed over clean and reset
 	// (not released) after the run, so concurrent deviation searches
@@ -60,6 +65,9 @@ func Run(cfg Config) (*Result, error) {
 		defer net.Release()
 	} else {
 		defer net.Reset()
+	}
+	if cfg.Loss.Enabled() {
+		net.SetLoss(cfg.Loss)
 	}
 	nodes := make(map[graph.NodeID]*Node, cfg.Graph.N())
 	for i := 0; i < cfg.Graph.N(); i++ {

@@ -399,3 +399,83 @@ func Catalogue(forFaithful bool) []*Deviation {
 	)
 	return all
 }
+
+// LossCatalogue returns the loss-exploiting deviation family — §5's
+// "hide behind the network" strategies, meaningful only when the
+// scenario's Params.Loss axis is enabled (the System adapters append
+// it then; a reliable scenario keeps the classic catalogue
+// byte-identical). Each entry abuses the ambiguity between "node
+// deviated" and "message lost": the faithful construction must still
+// attribute them to the node, because handler-level drops never look
+// like network losses to the attribution gate (sim counters only count
+// drops the network itself performed).
+func LossCatalogue(forFaithful bool) []*Deviation {
+	all := []*Deviation{
+		{
+			// Selective dropping disguised as random loss: starve one
+			// neighbor of every other advertisement, a pattern chosen to
+			// be statistically indistinguishable from a ~50% lossy link.
+			name:    "fake-loss-drop-adverts",
+			classes: []spec.ActionKind{spec.MessagePassing},
+			protocol: func(ctx Ctx) *fpss.Strategy {
+				neighbors := ctx.Graph.Neighbors(ctx.Node)
+				if len(neighbors) == 0 {
+					return nil
+				}
+				victim := neighbors[len(neighbors)-1]
+				drops := 0 // per-play: protocol() builds a fresh closure each play
+				return &fpss.Strategy{SendUpdate: func(to graph.NodeID, u fpss.Update) (fpss.Update, bool) {
+					if to != victim {
+						return u, true
+					}
+					drops++
+					return u, drops%2 == 0
+				}}
+			},
+		},
+		{
+			// Ack withholding: the receiver discards a neighbor's
+			// updates and lets the sender's retry envelope take the
+			// blame — "the network must have lost it".
+			name:    "withhold-acks",
+			classes: []spec.ActionKind{spec.MessagePassing},
+			protocol: func(ctx Ctx) *fpss.Strategy {
+				neighbors := ctx.Graph.Neighbors(ctx.Node)
+				if len(neighbors) == 0 {
+					return nil
+				}
+				victim := neighbors[0]
+				return &fpss.Strategy{RecvUpdate: func(u fpss.Update) (fpss.Update, bool) {
+					if u.From == victim {
+						return fpss.Update{}, false
+					}
+					return u, true
+				}}
+			},
+		},
+	}
+	if !forFaithful {
+		return all
+	}
+	return append(all,
+		&Deviation{
+			// Loss-rate misreporting: drop every checker forward and
+			// scrub the resulting flags from the state report, blaming
+			// the lossy network for the missing copies.
+			name:         "misreport-loss-blame",
+			classes:      []spec.ActionKind{spec.MessagePassing, spec.Computation},
+			faithfulOnly: true,
+			checker: func(Ctx) *faithful.Strategy {
+				return &faithful.Strategy{
+					ForwardToChecker: func(graph.NodeID, faithful.ForwardCopy) (faithful.ForwardCopy, bool) {
+						return faithful.ForwardCopy{}, false
+					},
+					ReportState: func(truth faithfulStateReport) faithfulStateReport {
+						truth.Flags = nil
+						return truth
+					},
+				}
+			},
+		},
+	)
+}

@@ -179,7 +179,7 @@ var _ core.Bounder = (*PlainSystem)(nil)
 func (s *PlainSystem) Snapshot() (core.TruthfulState, error) {
 	s.scen.init(s.Graph, s.Params, false)
 	s.snapOnce.Do(func() {
-		res, err := fpss.Run(fpss.Config{Graph: s.Graph})
+		res, err := fpss.Run(fpss.Config{Graph: s.Graph, Loss: s.Params.Loss})
 		if err != nil {
 			s.snapErr = fmt.Errorf("plain run: %w", err)
 			return
@@ -360,6 +360,7 @@ func (s *FaithfulSystem) runConfig(strategies map[graph.NodeID]*faithful.Strateg
 		NonProgressPenalty: s.Params.NonProgressPenalty,
 		Epsilon:            s.Params.Epsilon,
 		CheckerLimit:       s.Params.CheckerLimit,
+		Loss:               s.Params.Loss,
 		Net:                net,
 		Bank:               b,
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/faithful"
 	"repro/internal/fpss"
 	"repro/internal/graph"
+	"repro/internal/sim"
 )
 
 // faithfulStateReport aliases the bank's report type for hook literals.
@@ -27,6 +28,10 @@ type Params struct {
 	// CheckerLimit caps checkers per principal in the faithful
 	// protocol (0 = all neighbors; ablation E11).
 	CheckerLimit int
+	// Loss installs a seeded per-link drop model on every protocol run
+	// (zero value = reliable network). An enabled model also unlocks
+	// the loss-exploiting deviation family in the catalogue.
+	Loss sim.LossModel
 }
 
 // DefaultParams returns sane experiment parameters for a graph.
@@ -62,6 +67,12 @@ func (s *scenario) init(g *graph.Graph, p Params, forFaithful bool) {
 	s.once.Do(func() {
 		n := g.N()
 		cat := Catalogue(forFaithful)
+		if p.Loss.Enabled() {
+			// Loss-exploiting deviations only make sense when there is
+			// real loss to hide behind; a reliable scenario keeps its
+			// pre-loss catalogue byte-identical.
+			cat = append(cat, LossCatalogue(forFaithful)...)
+		}
 		s.cat = make([]core.Deviation, 0, len(cat))
 		for _, d := range cat {
 			s.cat = append(s.cat, d)
@@ -151,7 +162,7 @@ func (s *PlainSystem) play(deviator core.NodeID, d *Deviation, ar *playArena) (c
 			reportHooks[node] = d.reportPayment
 		}
 	}
-	res, err := fpss.Run(fpss.Config{Graph: s.Graph, Strategies: strategies, Net: ar.network()})
+	res, err := fpss.Run(fpss.Config{Graph: s.Graph, Strategies: strategies, Loss: s.Params.Loss, Net: ar.network()})
 	if err != nil {
 		return core.Outcome{}, fmt.Errorf("plain run: %w", err)
 	}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/fpss"
 	"repro/internal/graph"
 	"repro/internal/rational"
+	"repro/internal/sim"
 )
 
 // Family names a topology generator.
@@ -143,6 +144,32 @@ type Churn struct {
 // Dynamic reports whether the configuration actually spans epochs.
 func (c Churn) Dynamic() bool { return c.Epochs > 1 }
 
+// Loss configures the lossy-links failure axis (sim.LossModel): seeded
+// per-link drops with the protocol layers' bounded retry envelope. The
+// zero value means a reliable network, so every pre-loss Spec compiles
+// byte-identically to before. Like Churn, the axis renders into
+// Describe — the scenario's identity — whenever it is active.
+type Loss struct {
+	// Rate is the per-attempt drop probability in [0, 1). Honest runs
+	// stay effectively reliable up to faithful.MaxTolerableLoss.
+	Rate float64
+	// Burst is the mean loss-burst length (Gilbert–Elliott); <= 1
+	// means independent drops. The stationary rate stays Rate.
+	Burst float64
+	// SeedSalt perturbs the drop-schedule seed without changing the
+	// scenario's topology/workload draws — sweeping it replays the same
+	// scenario under fresh loss schedules.
+	SeedSalt uint64
+}
+
+// Enabled reports whether the axis actually drops anything.
+func (l Loss) Enabled() bool { return l.Rate > 0 }
+
+// lossSeedSalt decorrelates the drop-schedule stream from the Spec's
+// structural stream ("loss!" in ASCII), exactly as the churn engine
+// salts its schedule stream.
+const lossSeedSalt = 0x6c6f737321
+
 // Spec declares a scenario. The zero value of most fields means "the
 // classic default", so the zero Spec (plus a Family) reproduces the
 // setups the experiments used before the scenario layer existed.
@@ -176,6 +203,10 @@ type Spec struct {
 	// Churn selects the epoch dynamics (zero value = static). Compile
 	// ignores it; internal/churn consumes it.
 	Churn Churn
+	// Loss selects the lossy-links failure axis (zero value = reliable
+	// network). Materialize renders it into Params.Loss; the churn
+	// engine re-salts the schedule per epoch (LossModelForEpoch).
+	Loss Loss
 	// Seed drives every random draw of Compile.
 	Seed int64
 }
@@ -238,7 +269,36 @@ func (s Spec) Materialize(g *graph.Graph, traffic fpss.Traffic) *Compiled {
 	if s.Scheme != 0 {
 		params.Scheme = s.Scheme
 	}
+	params.Loss = s.LossModel()
 	return &Compiled{Spec: s, Graph: g, Params: params}
+}
+
+// LossModel renders the Spec's loss axis into the simulator model. The
+// schedule seed mixes the Spec seed with the loss salt (and the user's
+// SeedSalt), so two specs differing only in Seed see different drop
+// schedules while the same Spec always replays the same one. A
+// disabled axis yields the zero model.
+func (s Spec) LossModel() sim.LossModel {
+	if !s.Loss.Enabled() {
+		return sim.LossModel{}
+	}
+	return sim.LossModel{
+		Rate:  s.Loss.Rate,
+		Burst: s.Loss.Burst,
+		Seed:  sim.Mix64(uint64(s.Seed) ^ lossSeedSalt ^ s.Loss.SeedSalt),
+	}
+}
+
+// LossModelForEpoch re-salts the drop schedule for a churn epoch, so
+// boundary re-runs don't replay epoch 0's exact drops. Epoch 0 is the
+// static model itself — a static scenario and a churn scenario's first
+// epoch see identical schedules.
+func (s Spec) LossModelForEpoch(epoch int) sim.LossModel {
+	m := s.LossModel()
+	if epoch > 0 && m.Enabled() {
+		m.Seed = sim.Mix64(m.Seed ^ uint64(epoch))
+	}
+	return m
 }
 
 // NoExtraEdges is the Spec.ExtraEdges sentinel for "exactly zero
@@ -530,6 +590,7 @@ func (c *Compiled) FaithfulConfig() faithful.Config {
 		NonProgressPenalty: c.Params.NonProgressPenalty,
 		Epsilon:            c.Params.Epsilon,
 		CheckerLimit:       c.Params.CheckerLimit,
+		Loss:               c.Params.Loss,
 	}
 }
 
@@ -593,6 +654,18 @@ func (s Spec) Describe() string {
 			churn += fmt.Sprintf(" min=%d", s.Churn.MinN)
 		}
 		parts = append(parts, churn)
+	}
+	if s.Loss.Enabled() {
+		// Same identity rule as Churn: every loss field that changes the
+		// drop schedule renders, so distinct lossy specs never collide.
+		loss := fmt.Sprintf("loss=%g", s.Loss.Rate)
+		if s.Loss.Burst > 1 {
+			loss += fmt.Sprintf(" burst=%g", s.Loss.Burst)
+		}
+		if s.Loss.SeedSalt != 0 {
+			loss += fmt.Sprintf(" losssalt=%#x", s.Loss.SeedSalt)
+		}
+		parts = append(parts, loss)
 	}
 	parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
 	return strings.Join(parts, " ")

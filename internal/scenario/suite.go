@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/sim"
 )
 
 // Suite is a named cross-product of scenario axes: every combination
@@ -35,6 +37,9 @@ type Suite struct {
 	// = static). Dynamic suites are swept through the churn engine by
 	// faithcheck instead of the single-epoch checker.
 	Churn Churn
+	// Loss applies the lossy-links failure axis uniformly to every
+	// Spec (zero value = reliable network).
+	Loss Loss
 }
 
 // Specs expands the cross product in deterministic order: family
@@ -57,6 +62,7 @@ func (s Suite) Specs(seed int64) []Spec {
 						Packets:      s.Packets,
 						CheckerLimit: s.CheckerLimit,
 						Churn:        s.Churn,
+						Loss:         s.Loss,
 					}
 					if fam == Figure1 {
 						// Figure1 is fixed-size with fixed costs; the
@@ -90,16 +96,12 @@ func deriveSeed(base int64, sp Spec) int64 {
 	return int64(mixed%((1<<62)-1)) + 1
 }
 
-// Mix64 is the classic splitmix64 finalizer (Steele et al.), enough
-// to decorrelate neighboring identities. Every seed-derivation path —
-// the suite keying here and the churn engine's schedule stream —
-// shares this one definition so they can never silently diverge.
-func Mix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
+// Mix64 delegates to sim.Mix64 — the one splitmix64 finalizer every
+// seed-derivation path shares (suite keying, the churn engine's
+// schedule stream, the per-link drop schedules), so the paths can
+// never silently diverge. The canonical definition lives in sim, the
+// leaf package every seed consumer can import.
+func Mix64(x uint64) uint64 { return sim.Mix64(x) }
 
 var (
 	suiteMu sync.RWMutex
@@ -204,6 +206,21 @@ func init() {
 		Workloads:   []Workload{WorkloadAllPairs, WorkloadHotspot},
 		CostModels:  []CostModel{CostUniform},
 		Churn:       Churn{Epochs: 3, Joins: 1, Leaves: 1, RedrawFraction: 0.25},
+	})
+	// loss: the failure-model sweep — every scenario plays under a 10%
+	// bursty per-link drop rate, well under faithful.MaxTolerableLoss,
+	// so honest runs must stay clean while the loss-exploiting
+	// deviation family joins the search grid. Sizes stay at 6: the
+	// retry envelope multiplies message latency, and the blocking lane
+	// shares the churn lane's one-core budget.
+	RegisterSuite(Suite{
+		Name:        "loss",
+		Description: "Lossy links: 10% bursty drops, retry envelope, loss-exploiting deviations",
+		Families:    []Family{Random, PrefAttach, TwoTier},
+		Sizes:       []int{6},
+		Workloads:   []Workload{WorkloadAllPairs},
+		CostModels:  []CostModel{CostUniform},
+		Loss:        Loss{Rate: 0.1, Burst: 3},
 	})
 	// workloads: one topology, every workload × cost model — isolates
 	// the demand-matrix axis.

@@ -78,9 +78,11 @@ type Sizer interface{ Size() int }
 // Run/Resume/Counters are snapshots: the maps are freshly built and
 // never alias the network's internal state.
 type Counters struct {
-	Sent       int64 // messages submitted via Send
+	Sent       int64 // messages submitted via Send (including lost ones)
 	Delivered  int64 // messages handed to Recv
-	Dropped    int64 // messages dropped by a Tamper hook
+	Dropped    int64 // drops: Tamper-hook rejections and failed loss-model attempts
+	Retried    int64 // extra delivery attempts consumed by the loss envelope
+	Lost       int64 // messages permanently lost (every attempt dropped)
 	Bytes      int64 // total abstract payload size sent
 	Steps      int64 // delivery steps executed
 	PerNodeIn  map[Addr]int64
@@ -97,6 +99,8 @@ func (c *Counters) Add(o Counters) {
 	c.Sent += o.Sent
 	c.Delivered += o.Delivered
 	c.Dropped += o.Dropped
+	c.Retried += o.Retried
+	c.Lost += o.Lost
 	c.Bytes += o.Bytes
 	c.Steps += o.Steps
 	if len(o.PerNodeIn) > 0 {
@@ -132,8 +136,9 @@ type Network struct {
 	now    int64
 	delay  func(from, to Addr) int64
 	tamper func(m Message) (Message, bool)
+	loss   *lossState
 
-	sent, delivered, dropped, bytes, steps int64
+	sent, delivered, dropped, retried, lost, bytes, steps int64
 	// Per-node counters: dense slices grown on demand, map overflow
 	// for out-of-range addresses.
 	denseIn, denseOut   []int64
@@ -205,8 +210,11 @@ func (n *Network) Reset() {
 	clear(n.queue)
 	n.queue = n.queue[:0]
 	n.seq, n.now = 0, 0
-	n.delay, n.tamper = nil, nil
-	n.sent, n.delivered, n.dropped, n.bytes, n.steps = 0, 0, 0, 0, 0
+	// Fault hooks and loss schedules are per-scenario state: a pooled
+	// network re-acquired for a clean run must never replay a previous
+	// scenario's drops or tampering.
+	n.delay, n.tamper, n.loss = nil, nil, nil
+	n.sent, n.delivered, n.dropped, n.retried, n.lost, n.bytes, n.steps = 0, 0, 0, 0, 0, 0, 0
 	clear(n.denseIn)
 	clear(n.denseOut)
 	clear(n.sparseIn)
@@ -275,6 +283,13 @@ func (c *netContext) Send(to Addr, payload any) {
 }
 
 func (n *Network) send(from, to Addr, payload any) {
+	n.enqueue(from, to, payload, false)
+}
+
+// enqueue is the shared body of send (node traffic, subject to every
+// fault hook) and Inject (out-of-band control traffic, exempt from the
+// loss model — see Inject).
+func (n *Network) enqueue(from, to Addr, payload any, reliable bool) {
 	m := Message{From: from, To: to, Payload: payload}
 	if n.tamper != nil {
 		var ok bool
@@ -290,11 +305,42 @@ func (n *Network) send(from, to Addr, payload any) {
 		size = int64(s.Size())
 	}
 	n.bytes += size
-	n.seq++
 	at := n.now + 1
 	if n.delay != nil {
 		at = n.now + n.delay(from, to)
 	}
+	if n.loss != nil && !reliable {
+		link := n.loss.link(from, to)
+		attempt, max := 1, n.loss.model.attempts()
+		for ; attempt <= max; attempt++ {
+			if !link.drop(n.loss.model) {
+				break
+			}
+			n.dropped++
+			if attempt < max {
+				// The retransmission timeout separates attempts: the
+				// Gilbert–Elliott channel evolves through it, so a
+				// burst that swallowed this attempt has usually
+				// cleared by the next one (decorrelated retries are
+				// what keeps the ~Rate^Attempts permanent-loss
+				// analysis honest for bursty models too).
+				link.idle(n.loss.model, n.loss.model.retryDelay())
+			}
+		}
+		if attempt > max {
+			n.lost++ // permanent loss: the envelope gave up
+			return
+		}
+		n.retried += int64(attempt - 1)
+		at += int64(attempt-1) * n.loss.model.retryDelay()
+		// Per-link FIFO: a retried message must not be overtaken by —
+		// or overtake — the link's other traffic (see LossModel).
+		if at < link.lastAt {
+			at = link.lastAt
+		}
+		link.lastAt = at
+	}
+	n.seq++
 	n.queue.push(event{at: at, seq: n.seq, msg: m})
 }
 
@@ -392,8 +438,16 @@ func (n *Network) drain(maxSteps int64) (Counters, error) {
 
 // Inject enqueues an external message (e.g. a bank request) from a
 // synthetic source. Use Resume afterwards.
+//
+// Injected messages are out-of-band control traffic — a trusted
+// coordinator's phase transitions and checkpoint requests, not
+// node-to-node links — so they are exempt from the loss model (tamper
+// and delay hooks still apply). Lossy phase-boundary control would
+// let a retried StartPhase2 arrive after a neighbor's first phase-2
+// message, turning an experimenter's control plane into spurious
+// protocol reordering.
 func (n *Network) Inject(from, to Addr, payload any) {
-	n.send(from, to, payload)
+	n.enqueue(from, to, payload, true)
 }
 
 // Quiescent reports whether no messages are in flight.
@@ -418,6 +472,8 @@ func (n *Network) snapshot() Counters {
 		Sent:       n.sent,
 		Delivered:  n.delivered,
 		Dropped:    n.dropped,
+		Retried:    n.retried,
+		Lost:       n.lost,
 		Bytes:      n.bytes,
 		Steps:      n.steps,
 		PerNodeIn:  make(map[Addr]int64),
