@@ -17,6 +17,8 @@
 //	faithcheck -suite churn -seed 1             # the epoch-dynamics suite
 //	faithcheck -n 6 -loss 0.1 -burst 3          # lossy links: bursty seeded drops
 //	faithcheck -suite loss -seed 1              # the lossy-links suite
+//	faithcheck -n 6 -shards 2 -crash participant # sharded settlement with crash-restarts
+//	faithcheck -suite settle -seed 1            # the sharded-settlement suite
 //
 // With -epochs > 1 (or a suite whose specs carry a churn axis) the
 // scenario becomes a timeline: nodes join and leave between
@@ -61,20 +63,25 @@ func run(args []string) error {
 	redraw := fs.Float64("redraw", 0.25, "churn: per-boundary cost re-draw probability for surviving nodes")
 	lossRate := fs.Float64("loss", 0, "lossy links: per-attempt drop rate in [0, 1) (0 = reliable network)")
 	burst := fs.Float64("burst", 0, "lossy links: mean loss-burst length in messages (requires -loss; <= 1 = independent drops)")
+	shards := fs.Int("shards", 0, "sharded settlement: shard count (0 = singleton bank)")
+	crash := fs.String("crash", "", "sharded settlement: crash-fault plan (coordinator, participant, recovery); requires -shards")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	// Churn and loss flags must never be silently ignored — a reliable
-	// or static result masquerading as a failure-axis result is worse
-	// than an error. Track which were explicitly set.
+	// Failure-axis flags must never be silently ignored — a reliable,
+	// static or singleton-bank result masquerading as a failure-axis
+	// result is worse than an error. Track which were explicitly set.
 	churnFlags := map[string]bool{}
 	lossFlags := map[string]bool{}
+	shardFlags := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "epochs", "joins", "leaves", "redraw":
 			churnFlags[f.Name] = true
 		case "loss", "burst":
 			lossFlags[f.Name] = true
+		case "shards", "crash":
+			shardFlags[f.Name] = true
 		}
 	})
 	cfg := core.CheckConfig{Workers: *workers, EarlyStop: *first}
@@ -93,6 +100,9 @@ func run(args []string) error {
 		}
 		if len(lossFlags) > 0 {
 			return fmt.Errorf("loss flags (-loss/-burst) apply to single scenarios; suites define their own loss axis (try -suite loss)")
+		}
+		if len(shardFlags) > 0 {
+			return fmt.Errorf("shard flags (-shards/-crash) apply to single scenarios; suites define their own settlement axis (try -suite settle)")
 		}
 		return runSuite(*suite, *seed, cfg)
 	}
@@ -119,6 +129,12 @@ func run(args []string) error {
 	if lossFlags["burst"] && *burst < 1 {
 		return fmt.Errorf("-burst is a mean burst length >= 1, got %g", *burst)
 	}
+	if shardFlags["crash"] && !shardFlags["shards"] {
+		return fmt.Errorf("-crash takes effect only with -shards")
+	}
+	if shardFlags["shards"] && *shards < 1 {
+		return fmt.Errorf("-shards is a shard count >= 1, got %d", *shards)
+	}
 
 	spec, err := specFromFlags(*topology, *n, *workload, *costs, *seed)
 	if err != nil {
@@ -126,6 +142,11 @@ func run(args []string) error {
 	}
 	if lossFlags["loss"] {
 		spec.Loss = scenario.Loss{Rate: *lossRate, Burst: *burst}
+	}
+	if shardFlags["shards"] {
+		// Unknown -crash names are rejected by the spec's own validation
+		// at compile time, with the known plans in the message.
+		spec.Shards = scenario.Shards{K: *shards, Crash: *crash}
 	}
 	if *epochs > 1 {
 		spec.Churn = scenario.Churn{Epochs: *epochs, Joins: *joins, Leaves: *leaves, RedrawFraction: *redraw}

@@ -47,6 +47,24 @@ func TestRunLossChurnScenario(t *testing.T) {
 	}
 }
 
+func TestRunShardScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full deviation search")
+	}
+	if err := run([]string{"-n", "4", "-seed", "2", "-shards", "2", "-crash", "participant"}); err != nil {
+		t.Fatalf("faithcheck -shards: %v", err)
+	}
+}
+
+func TestRunShardChurnScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full per-epoch deviation search")
+	}
+	if err := run([]string{"-n", "5", "-seed", "2", "-epochs", "2", "-shards", "2"}); err != nil {
+		t.Fatalf("faithcheck -epochs -shards: %v", err)
+	}
+}
+
 func TestRunSuiteList(t *testing.T) {
 	if err := run([]string{"-suite", "list"}); err != nil {
 		t.Fatalf("faithcheck -suite list: %v", err)
@@ -89,6 +107,18 @@ func TestRunBadScenario(t *testing.T) {
 		{"-n", "5", "-loss", "1.0"},
 		{"-n", "5", "-loss", "-0.1"},
 		{"-n", "5", "-loss", "0.1", "-burst", "0.5"},
+		// Shard flags are single-scenario only; a suite sweep must not
+		// silently ignore them either.
+		{"-suite", "smoke", "-shards", "2"},
+		{"-suite", "settle", "-crash", "participant"},
+		// -crash without -shards does nothing — reject rather than run a
+		// singleton-bank check the user thinks is sharded.
+		{"-n", "5", "-crash", "participant"},
+		// Invalid shard values must error, not silently clamp, and
+		// unknown crash plans must be rejected at compile time.
+		{"-n", "5", "-shards", "0"},
+		{"-n", "5", "-shards", "-2"},
+		{"-n", "5", "-shards", "2", "-crash", "meteor"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

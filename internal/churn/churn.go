@@ -315,6 +315,12 @@ func evolve(sp scenario.Spec, prev *Epoch, index int, nextID *Identity, costFn g
 		// Spec.Compile and keeps the static schedule.
 		next.Compiled.Params.Loss = sp.LossModelForEpoch(next.Index)
 	}
+	if sp.Shards.Enabled() {
+		// Same per-epoch re-salt for the settlement: fresh home-shard
+		// routing and crash timings, while K and the crash plan stay
+		// the axis's.
+		next.Compiled.Params.Settle = sp.SettleOptionsForEpoch(next.Index)
+	}
 	return next, nil
 }
 

@@ -310,6 +310,12 @@ func (s *System) run(ctx *core.PlayContext, deviator core.NodeID, dev core.Devia
 // meaningful.
 func (s *System) buildCatalogues() {
 	base := rational.Catalogue(s.variant == Faithful)
+	if s.tl.Spec.Shards.Enabled() {
+		// The sharded-settlement axis brings its deviation family along,
+		// exactly as the static System adapters do: each epoch's play
+		// already settles through the epoch's re-salted shard bank.
+		base = append(base, rational.ShardCatalogue(s.variant == Faithful)...)
+	}
 	s.cats = make(map[Identity][]*deviation, len(s.tl.Identities()))
 	for _, id := range s.tl.Identities() {
 		id := id
@@ -332,6 +338,9 @@ func (s *System) buildCatalogues() {
 			cat = append(cat, d)
 		}
 		if d := s.leaveWithoutSettling(id); d != nil {
+			cat = append(cat, d)
+		}
+		if d := s.leaveMasqueradingAsLoss(id); d != nil {
 			cat = append(cat, d)
 		}
 		if d := s.rejoinFresh(id); d != nil {
@@ -407,6 +416,49 @@ func (s *System) leaveWithoutSettling(id Identity) *deviation {
 			return &epochAction{local: local, dev: underreportAll()}, nil
 		},
 		execOnly: true,
+	}
+}
+
+// leaveMasqueradingAsLoss is the churn×loss composite of the exit
+// scam: in its final member epoch the deviator goes half-silent —
+// every other outgoing advertisement dropped at the handler, a pattern
+// tuned to read like a ~50% lossy link — then departs with an empty
+// DATA4, betting the audit writes the whole episode off as network
+// weather around a leaver. The attribution gate is not fooled:
+// handler-level drops never enter the sim's loss counters, so the
+// faithful construction pins both the silence and the misreport on the
+// node before the boundary settles it. An honest leaver on the same
+// lossy links is the control — its genuine drops are the network's,
+// and it departs unflagged. Only meaningful when both axes are on.
+func (s *System) leaveMasqueradingAsLoss(id Identity) *deviation {
+	if !s.tl.Spec.Loss.Enabled() {
+		return nil
+	}
+	boundary, leaves := s.tl.DepartureOf(id)
+	if !leaves {
+		return nil
+	}
+	last := boundary - 1
+	return &deviation{
+		name:    "leave-masquerading-as-loss",
+		classes: []spec.ActionKind{spec.MessagePassing, spec.Computation},
+		epochs:  []int{last},
+		act: func(e int) (*epochAction, error) {
+			local, _ := s.tl.Epochs[e].Local(id)
+			rd := rational.NewDeviation("leave-masquerading-as-loss",
+				[]spec.ActionKind{spec.MessagePassing, spec.Computation},
+				rational.Parts{
+					Protocol: func(rational.Ctx) *fpss.Strategy {
+						drops := 0 // per-play: Protocol builds a fresh closure each play
+						return &fpss.Strategy{SendUpdate: func(_ graph.NodeID, u fpss.Update) (fpss.Update, bool) {
+							drops++
+							return u, drops%2 == 0
+						}}
+					},
+					ReportPayment: func(fpss.PaymentList) fpss.PaymentList { return fpss.PaymentList{} },
+				})
+			return &epochAction{local: local, dev: rd}, nil
+		},
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/faithful"
 	"repro/internal/fpss"
 	"repro/internal/graph"
+	"repro/internal/settle"
 	"repro/internal/spec"
 )
 
@@ -38,6 +39,10 @@ type Deviation struct {
 	// layer (forward drops/tampering, spoofed copies, report lies);
 	// nil for deviations that exist in plain FPSS too.
 	checker func(Ctx) *faithful.Strategy
+	// settle builds the settlement-window deviation played inside the
+	// sharded bank's 2PC (meaningful only when Params.Settle enables
+	// the shard axis).
+	settle func(Ctx) *settle.Strategy
 	// faithfulOnly marks deviations meaningless in plain FPSS.
 	faithfulOnly bool
 	// boundedExec marks catalogue-built execution-only deviations
@@ -53,7 +58,15 @@ type Deviation struct {
 // checker layer untouched. Such deviations replay against a truthful
 // snapshot without re-running the protocol.
 func (d *Deviation) ExecOnly() bool {
-	return d.protocol == nil && d.checker == nil && d.reportPayment != nil
+	return d.protocol == nil && d.checker == nil && d.settle == nil && d.reportPayment != nil
+}
+
+// SettleOnly reports whether the deviation lives entirely inside the
+// settlement window: the protocol, checker layer and DATA4 report all
+// stay honest, so the play replays as honest-baseline-plus-settlement
+// without re-running the protocol.
+func (d *Deviation) SettleOnly() bool {
+	return d.protocol == nil && d.checker == nil && d.reportPayment == nil && d.settle != nil
 }
 
 // Parts are the realizations of a custom deviation, mirroring the
@@ -67,6 +80,8 @@ type Parts struct {
 	ReportPayment func(truth fpss.PaymentList) fpss.PaymentList
 	// Checker builds checker-layer deviations (faithful protocol only).
 	Checker func(Ctx) *faithful.Strategy
+	// Settle builds the settlement-window deviation (shard axis only).
+	Settle func(Ctx) *settle.Strategy
 }
 
 // NewDeviation assembles a custom catalogued deviation from its parts.
@@ -80,6 +95,7 @@ func NewDeviation(name string, classes []spec.ActionKind, p Parts) *Deviation {
 		protocol:      p.Protocol,
 		reportPayment: p.ReportPayment,
 		checker:       p.Checker,
+		settle:        p.Settle,
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/faithful"
 	"repro/internal/fpss"
 	"repro/internal/graph"
+	"repro/internal/settle"
 	"repro/internal/sim"
 )
 
@@ -165,6 +166,9 @@ type plainState struct {
 	pricing  map[graph.NodeID]fpss.PricingTable
 	declared fpss.CostTable
 	owed     map[graph.NodeID]int64
+	// batch is the honest settlement workload (nil unless the shard
+	// axis is enabled) — shared by every settle-only play.
+	batch *settle.Batch
 }
 
 // Baseline implements core.TruthfulState.
@@ -209,6 +213,9 @@ func (s *PlainSystem) Snapshot() (core.TruthfulState, error) {
 		}
 		for id, ob := range exec.Obligations {
 			st.owed[id] = ob.Total()
+		}
+		if s.Params.Settle.Enabled() {
+			st.batch = settleBatch(exec)
 		}
 		s.snap = st
 	})
@@ -269,6 +276,16 @@ func (s *PlainSystem) Play(ctx *core.PlayContext, st core.TruthfulState, deviato
 		}
 		return out, nil
 	}
+	if d.SettleOnly() && snap.batch != nil {
+		// The construction and execution phases stay honest: overlay
+		// the deviant settlement on the snapshot's batch directly.
+		out := core.Outcome{Utilities: ar.outcome(len(snap.base.Utilities)), Completed: true}
+		for id, u := range snap.base.Utilities {
+			out.Utilities[id] = u
+		}
+		s.applySettlement(&out, snap.batch, deviator, d)
+		return out, nil
+	}
 	return s.play(deviator, d, ar)
 }
 
@@ -300,6 +317,9 @@ type faithfulState struct {
 	base core.Outcome
 	exec faithful.ExecState
 	ok   bool // exec is valid (honest run completed undetected)
+	// batch is the honest settlement workload (nil unless the shard
+	// axis is enabled and the honest run was certified).
+	batch *settle.Batch
 }
 
 // Baseline implements core.TruthfulState.
@@ -336,6 +356,9 @@ func (s *FaithfulSystem) Snapshot() (core.TruthfulState, error) {
 				st.exec.Declared[id] = node.DeclaredCost()
 			}
 			st.ok = true
+			if s.Params.Settle.Enabled() && res.Exec != nil {
+				st.batch = settleBatch(res.Exec)
+			}
 		}
 		s.snap = st
 	})
@@ -413,6 +436,19 @@ func (s *FaithfulSystem) Play(ctx *core.PlayContext, st core.TruthfulState, devi
 		}
 		return outcomeOf(res, ar.outcome(len(res.Utilities))), nil
 	}
+	if d.SettleOnly() && snap.ok && snap.batch != nil {
+		// Everything up to the settlement window is honest and
+		// certified: overlay the deviant 2PC settlement on the
+		// snapshot's batch directly.
+		out := core.Outcome{Utilities: ar.outcome(len(snap.base.Utilities)), Completed: snap.base.Completed}
+		for id, u := range snap.base.Utilities {
+			out.Utilities[id] = u
+		}
+		if err := s.applySettlement(&out, snap.batch, deviator, d); err != nil {
+			return core.Outcome{}, err
+		}
+		return out, nil
+	}
 	return s.play(deviator, d, ar)
 }
 
@@ -420,11 +456,20 @@ func (s *FaithfulSystem) Play(ctx *core.PlayContext, st core.TruthfulState, devi
 // specification the bank settles any DATA4 misreport back to the true
 // obligation and fines ε above the attempted deviation, so an
 // execution-phase-only deviation can never beat the honest baseline —
-// whatever its hook reports. Construction and checker deviations get
-// no bound.
+// whatever its hook reports. The same ceiling holds for settle-only
+// deviations on a reliable network with a plan-derived fault schedule:
+// the crash-tolerant 2PC still commits every transfer (the settle
+// sweeps pin this), so the deviator's balance delta is zero and a flag
+// only subtracts ε. Under lossy links or a custom fault override,
+// infrastructure aborts can genuinely shift balances, so no bound is
+// claimed there; construction and checker deviations get none either.
 func (s *FaithfulSystem) ProfitUpperBound(deviator core.NodeID, dev core.Deviation, _ int) (int64, bool) {
 	d, ok := dev.(*Deviation)
-	if !ok || !d.ExecOnly() {
+	if !ok {
+		return 0, false
+	}
+	settleOnly := d.SettleOnly() && !s.Params.Loss.Enabled() && s.Params.Settle.FaultOverride == nil
+	if !d.ExecOnly() && !settleOnly {
 		return 0, false
 	}
 	st, err := s.Snapshot()

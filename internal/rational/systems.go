@@ -9,6 +9,7 @@ import (
 	"repro/internal/faithful"
 	"repro/internal/fpss"
 	"repro/internal/graph"
+	"repro/internal/settle"
 	"repro/internal/sim"
 )
 
@@ -32,6 +33,11 @@ type Params struct {
 	// (zero value = reliable network). An enabled model also unlocks
 	// the loss-exploiting deviation family in the catalogue.
 	Loss sim.LossModel
+	// Settle shards the trusted bank and clears each execution phase
+	// through the crash-tolerant 2PC settlement (zero value = the
+	// classic singleton bank, axis off). An enabled axis also unlocks
+	// the shard-window deviation family in the catalogue.
+	Settle settle.Options
 }
 
 // DefaultParams returns sane experiment parameters for a graph.
@@ -72,6 +78,12 @@ func (s *scenario) init(g *graph.Graph, p Params, forFaithful bool) {
 			// real loss to hide behind; a reliable scenario keeps its
 			// pre-loss catalogue byte-identical.
 			cat = append(cat, LossCatalogue(forFaithful)...)
+		}
+		if p.Settle.Enabled() {
+			// Shard-window deviations need a sharded settlement to
+			// attack; a singleton-bank scenario likewise keeps its
+			// catalogue byte-identical.
+			cat = append(cat, ShardCatalogue(forFaithful)...)
 		}
 		s.cat = make([]core.Deviation, 0, len(cat))
 		for _, d := range cat {
@@ -192,6 +204,9 @@ func (s *PlainSystem) play(deviator core.NodeID, d *Deviation, ar *playArena) (c
 	for id, u := range exec.Utilities {
 		out.Utilities[core.NodeID(id)] = u
 	}
+	if d != nil && deviator >= 0 && d.settle != nil && s.Params.Settle.Enabled() {
+		s.applySettlement(&out, settleBatch(exec), deviator, d)
+	}
 	return out, nil
 }
 
@@ -266,5 +281,13 @@ func (s *FaithfulSystem) play(deviator core.NodeID, d *Deviation, ar *playArena)
 	if err != nil {
 		return core.Outcome{}, fmt.Errorf("faithful run: %w", err)
 	}
-	return outcomeOf(res, ar.outcome(len(res.Utilities))), nil
+	out := outcomeOf(res, ar.outcome(len(res.Utilities)))
+	// Settlement clears only what the execution phase produced: a run
+	// the bank refused to green-light settles nothing.
+	if d != nil && deviator >= 0 && d.settle != nil && s.Params.Settle.Enabled() && res.Exec != nil {
+		if err := s.applySettlement(&out, settleBatch(res.Exec), deviator, d); err != nil {
+			return core.Outcome{}, err
+		}
+	}
+	return out, nil
 }

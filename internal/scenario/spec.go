@@ -24,6 +24,7 @@ import (
 	"repro/internal/fpss"
 	"repro/internal/graph"
 	"repro/internal/rational"
+	"repro/internal/settle"
 	"repro/internal/sim"
 )
 
@@ -170,6 +171,54 @@ func (l Loss) Enabled() bool { return l.Rate > 0 }
 // salts its schedule stream.
 const lossSeedSalt = 0x6c6f737321
 
+// Shards configures the sharded-settlement failure axis
+// (internal/settle): the trusted bank splits into K shards and every
+// execution phase clears through the crash-tolerant two-phase commit,
+// optionally under a named crash-fault plan. The zero value keeps the
+// classic singleton bank, so every pre-shard Spec compiles
+// byte-identically to before. An enabled axis also unlocks the
+// shard-window deviation family in the search catalogue.
+type Shards struct {
+	// K is the shard count; 0 disables the axis.
+	K int
+	// Crash names the crash-fault plan injected into every settlement
+	// run: "" (no faults), "coordinator", "participant" or "recovery"
+	// (settle.Plans).
+	Crash string
+	// SeedSalt perturbs the routing/crash-schedule seed without
+	// changing the scenario's topology/workload draws — sweeping it
+	// replays the same scenario under fresh shard routing and crash
+	// timings.
+	SeedSalt uint64
+}
+
+// Enabled reports whether the settlement is actually sharded.
+func (sh Shards) Enabled() bool { return sh.K > 0 }
+
+// validate rejects axis combinations that would silently do nothing.
+func (sh Shards) validate() error {
+	if sh.K < 0 {
+		return fmt.Errorf("shards: K must be >= 0, got %d", sh.K)
+	}
+	if !settle.ValidPlan(sh.Crash) {
+		known := make([]string, 0, len(settle.Plans))
+		for _, p := range settle.Plans {
+			if p != settle.PlanNone {
+				known = append(known, p)
+			}
+		}
+		return fmt.Errorf("shards: unknown crash plan %q (known: %v)", sh.Crash, known)
+	}
+	if sh.Crash != settle.PlanNone && !sh.Enabled() {
+		return fmt.Errorf("shards: crash plan %q needs K > 0", sh.Crash)
+	}
+	return nil
+}
+
+// shardSeedSalt decorrelates the shard routing/crash stream from the
+// Spec's structural stream ("shard" in ASCII), mirroring lossSeedSalt.
+const shardSeedSalt = 0x7368617264
+
 // Spec declares a scenario. The zero value of most fields means "the
 // classic default", so the zero Spec (plus a Family) reproduces the
 // setups the experiments used before the scenario layer existed.
@@ -207,6 +256,10 @@ type Spec struct {
 	// network). Materialize renders it into Params.Loss; the churn
 	// engine re-salts the schedule per epoch (LossModelForEpoch).
 	Loss Loss
+	// Shards selects the sharded-settlement failure axis (zero value =
+	// singleton bank). Materialize renders it into Params.Settle; the
+	// churn engine re-salts the seed per epoch (SettleOptionsForEpoch).
+	Shards Shards
 	// Seed drives every random draw of Compile.
 	Seed int64
 }
@@ -232,6 +285,9 @@ func (s Spec) Compile() (*Compiled, error) {
 // what the classic constructors performed, so pre-scenario tables stay
 // byte-identical.
 func (s Spec) BuildWith(rng *rand.Rand) (*Compiled, error) {
+	if err := s.Shards.validate(); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.describeTopology(), err)
+	}
 	g, err := s.buildGraph(rng)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.describeTopology(), err)
@@ -270,6 +326,7 @@ func (s Spec) Materialize(g *graph.Graph, traffic fpss.Traffic) *Compiled {
 		params.Scheme = s.Scheme
 	}
 	params.Loss = s.LossModel()
+	params.Settle = s.SettleOptions()
 	return &Compiled{Spec: s, Graph: g, Params: params}
 }
 
@@ -299,6 +356,35 @@ func (s Spec) LossModelForEpoch(epoch int) sim.LossModel {
 		m.Seed = sim.Mix64(m.Seed ^ uint64(epoch))
 	}
 	return m
+}
+
+// SettleOptions renders the Spec's shard axis into the settlement
+// engine's options. The seed mixes the Spec seed with the shard salt
+// (and the user's SeedSalt), so two specs differing only in Seed
+// route accounts and time crashes differently while the same Spec
+// always replays the same settlement. A disabled axis yields the zero
+// options — the singleton bank.
+func (s Spec) SettleOptions() settle.Options {
+	if !s.Shards.Enabled() {
+		return settle.Options{}
+	}
+	return settle.Options{
+		Shards: s.Shards.K,
+		Plan:   s.Shards.Crash,
+		Seed:   sim.Mix64(uint64(s.Seed) ^ shardSeedSalt ^ s.Shards.SeedSalt),
+	}
+}
+
+// SettleOptionsForEpoch re-salts the settlement seed for a churn
+// epoch: fresh home-shard routing and crash timings per epoch, exactly
+// as LossModelForEpoch re-draws the drop schedule. Epoch 0 keeps the
+// static derivation.
+func (s Spec) SettleOptionsForEpoch(epoch int) settle.Options {
+	o := s.SettleOptions()
+	if epoch > 0 && o.Enabled() {
+		o.Seed = sim.Mix64(o.Seed ^ uint64(epoch))
+	}
+	return o
 }
 
 // NoExtraEdges is the Spec.ExtraEdges sentinel for "exactly zero
@@ -666,6 +752,18 @@ func (s Spec) Describe() string {
 			loss += fmt.Sprintf(" losssalt=%#x", s.Loss.SeedSalt)
 		}
 		parts = append(parts, loss)
+	}
+	if s.Shards.Enabled() {
+		// Same identity rule again: every shard field that changes the
+		// settlement renders, so distinct sharded specs never collide.
+		sh := fmt.Sprintf("shards=%d", s.Shards.K)
+		if s.Shards.Crash != settle.PlanNone {
+			sh += " crash=" + s.Shards.Crash
+		}
+		if s.Shards.SeedSalt != 0 {
+			sh += fmt.Sprintf(" shardsalt=%#x", s.Shards.SeedSalt)
+		}
+		parts = append(parts, sh)
 	}
 	parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
 	return strings.Join(parts, " ")

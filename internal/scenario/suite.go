@@ -40,6 +40,9 @@ type Suite struct {
 	// Loss applies the lossy-links failure axis uniformly to every
 	// Spec (zero value = reliable network).
 	Loss Loss
+	// Shards applies the sharded-settlement failure axis uniformly to
+	// every Spec (zero value = singleton bank).
+	Shards Shards
 }
 
 // Specs expands the cross product in deterministic order: family
@@ -63,6 +66,7 @@ func (s Suite) Specs(seed int64) []Spec {
 						CheckerLimit: s.CheckerLimit,
 						Churn:        s.Churn,
 						Loss:         s.Loss,
+						Shards:       s.Shards,
 					}
 					if fam == Figure1 {
 						// Figure1 is fixed-size with fixed costs; the
@@ -221,6 +225,20 @@ func init() {
 		Workloads:   []Workload{WorkloadAllPairs},
 		CostModels:  []CostModel{CostUniform},
 		Loss:        Loss{Rate: 0.1, Burst: 3},
+	})
+	// settle: the sharded-settlement sweep — every scenario clears its
+	// execution phase through a 2-shard crash-tolerant 2PC with a
+	// participant crash-restart injected per settlement, and the
+	// shard-window deviation family joins the search grid. Sizes stay
+	// at 6 for the same one-core-lane budget as churn and loss.
+	RegisterSuite(Suite{
+		Name:        "settle",
+		Description: "Sharded settlement: 2 shards, participant crash-restarts, shard-window deviations",
+		Families:    []Family{Random, TwoTier},
+		Sizes:       []int{6},
+		Workloads:   []Workload{WorkloadAllPairs},
+		CostModels:  []CostModel{CostUniform},
+		Shards:      Shards{K: 2, Crash: "participant"},
 	})
 	// workloads: one topology, every workload × cost model — isolates
 	// the demand-matrix axis.

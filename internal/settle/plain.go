@@ -1,0 +1,53 @@
+package settle
+
+// RunPlain settles the batch under the baseline (manipulable)
+// mechanism: one-phase bookkeeping with no co-signing, no home-shard
+// verification, no write-ahead window and no checkers. Every local
+// credit is applied where it is claimed and every transfer clears
+// unless a party has already closed its account — which is exactly
+// the surface the shard deviations exploit:
+//
+//   - VanishAfterPrepare: the account closes before its debits clear,
+//     so every outgoing transfer bounces while incoming value (already
+//     applied) stays — the exit scam pays its outgoing total.
+//   - DoubleClaim: the second shard has no way to check the claimed
+//     home, so a positive local credit is applied twice.
+//   - StallPrepare: a no-op — there is no prepare phase to stall.
+//
+// No simulation runs (the baseline bank is a synchronous singleton
+// call), so Counters stays zero and there is never anything in doubt.
+func RunPlain(opts Options, batch *Batch, strategies map[Account]*Strategy) *Result {
+	res := &Result{
+		Balances: make(map[Account]int64, len(batch.Accounts)),
+		Deltas:   make(map[Account]int64, len(batch.Accounts)),
+	}
+	strat := func(a Account) *Strategy {
+		if s, ok := strategies[a]; ok && s != nil {
+			return s
+		}
+		return &Strategy{}
+	}
+	for _, a := range batch.Accounts {
+		res.Balances[a] = batch.Local[a]
+		if strat(a).DoubleClaim && batch.Local[a] > 0 {
+			// The wrong-home shard applies the duplicate claim too.
+			res.Balances[a] += batch.Local[a]
+		}
+	}
+	for _, t := range batch.Transfers {
+		if strat(t.From).VanishAfterPrepare {
+			// The debtor's account is already closed: the debit
+			// bounces and the creditor eats the loss.
+			res.Aborted++
+			continue
+		}
+		res.Balances[t.From] -= t.Amount
+		res.Balances[t.To] += t.Amount
+		res.Committed++
+	}
+	expected := batch.Expected()
+	for _, a := range batch.Accounts {
+		res.Deltas[a] = res.Balances[a] - expected[a]
+	}
+	return res
+}

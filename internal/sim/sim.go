@@ -78,15 +78,18 @@ type Sizer interface{ Size() int }
 // Run/Resume/Counters are snapshots: the maps are freshly built and
 // never alias the network's internal state.
 type Counters struct {
-	Sent       int64 // messages submitted via Send (including lost ones)
-	Delivered  int64 // messages handed to Recv
-	Dropped    int64 // drops: Tamper-hook rejections and failed loss-model attempts
-	Retried    int64 // extra delivery attempts consumed by the loss envelope
-	Lost       int64 // messages permanently lost (every attempt dropped)
-	Bytes      int64 // total abstract payload size sent
-	Steps      int64 // delivery steps executed
-	PerNodeIn  map[Addr]int64
-	PerNodeOut map[Addr]int64
+	Sent         int64 // messages submitted via Send (including lost ones)
+	Delivered    int64 // messages handed to Recv
+	Dropped      int64 // drops: Tamper-hook rejections and failed loss-model attempts
+	Retried      int64 // extra delivery attempts consumed by the loss envelope
+	Lost         int64 // messages permanently lost (every attempt dropped)
+	Crashes      int64 // endpoint crashes fired by the fault model
+	Restarts     int64 // crashed endpoints brought back up
+	CrashDropped int64 // deliveries dropped because the destination was down
+	Bytes        int64 // total abstract payload size sent
+	Steps        int64 // delivery steps executed
+	PerNodeIn    map[Addr]int64
+	PerNodeOut   map[Addr]int64
 }
 
 // Add accumulates another snapshot into c — benchtab's suite profile
@@ -101,6 +104,9 @@ func (c *Counters) Add(o Counters) {
 	c.Dropped += o.Dropped
 	c.Retried += o.Retried
 	c.Lost += o.Lost
+	c.Crashes += o.Crashes
+	c.Restarts += o.Restarts
+	c.CrashDropped += o.CrashDropped
 	c.Bytes += o.Bytes
 	c.Steps += o.Steps
 	if len(o.PerNodeIn) > 0 {
@@ -137,8 +143,10 @@ type Network struct {
 	delay  func(from, to Addr) int64
 	tamper func(m Message) (Message, bool)
 	loss   *lossState
+	faults *faultState
 
 	sent, delivered, dropped, retried, lost, bytes, steps int64
+	crashes, restarts, crashDropped                       int64
 	// Per-node counters: dense slices grown on demand, map overflow
 	// for out-of-range addresses.
 	denseIn, denseOut   []int64
@@ -210,11 +218,12 @@ func (n *Network) Reset() {
 	clear(n.queue)
 	n.queue = n.queue[:0]
 	n.seq, n.now = 0, 0
-	// Fault hooks and loss schedules are per-scenario state: a pooled
-	// network re-acquired for a clean run must never replay a previous
-	// scenario's drops or tampering.
-	n.delay, n.tamper, n.loss = nil, nil, nil
+	// Fault hooks, loss schedules and crash schedules are per-scenario
+	// state: a pooled network re-acquired for a clean run must never
+	// replay a previous scenario's drops, tampering or crashes.
+	n.delay, n.tamper, n.loss, n.faults = nil, nil, nil, nil
 	n.sent, n.delivered, n.dropped, n.retried, n.lost, n.bytes, n.steps = 0, 0, 0, 0, 0, 0, 0
+	n.crashes, n.restarts, n.crashDropped = 0, 0, 0
 	clear(n.denseIn)
 	clear(n.denseOut)
 	clear(n.sparseIn)
@@ -309,7 +318,11 @@ func (n *Network) enqueue(from, to Addr, payload any, reliable bool) {
 	if n.delay != nil {
 		at = n.now + n.delay(from, to)
 	}
-	if n.loss != nil && !reliable {
+	// Self-sends are a handler's private timers (the settle engine's
+	// retransmission quanta), not link traffic — exempt from loss like
+	// Inject. No current handler self-sends real protocol payloads, so
+	// this does not change any pinned loss counter.
+	if n.loss != nil && !reliable && from != to {
 		link := n.loss.link(from, to)
 		attempt, max := 1, n.loss.model.attempts()
 		for ; attempt <= max; attempt++ {
@@ -425,6 +438,14 @@ func (n *Network) drain(maxSteps int64) (Counters, error) {
 		n.now = ev.at
 		steps++
 		n.steps++
+		if _, ok := ev.msg.Payload.(restartMarker); ok {
+			n.restore(ev.msg.To)
+			continue // not a delivery: the endpoint coming back up
+		}
+		if n.Down(ev.msg.To) {
+			n.crashDropped++
+			continue // destination is crashed
+		}
 		h, ctx := n.handler(ev.msg.To)
 		if h == nil {
 			continue // discarded: unknown destination
@@ -432,6 +453,19 @@ func (n *Network) drain(maxSteps int64) (Counters, error) {
 		n.delivered++
 		n.bumpIn(ev.msg.To)
 		h.Recv(ctx, ev.msg)
+		if n.faults != nil {
+			if c, fired := n.faults.observeDelivery(ev.msg.To); fired {
+				n.crashes++
+				if c.RestartDelay >= 0 {
+					n.seq++
+					n.queue.push(event{
+						at:  n.now + c.RestartDelay,
+						seq: n.seq,
+						msg: Message{From: ev.msg.To, To: ev.msg.To, Payload: restartMarker{}},
+					})
+				}
+			}
+		}
 	}
 	return n.snapshot(), nil
 }
@@ -469,15 +503,18 @@ func (n *Network) Now() int64 { return n.now }
 // isolated Counters value.
 func (n *Network) snapshot() Counters {
 	out := Counters{
-		Sent:       n.sent,
-		Delivered:  n.delivered,
-		Dropped:    n.dropped,
-		Retried:    n.retried,
-		Lost:       n.lost,
-		Bytes:      n.bytes,
-		Steps:      n.steps,
-		PerNodeIn:  make(map[Addr]int64),
-		PerNodeOut: make(map[Addr]int64),
+		Sent:         n.sent,
+		Delivered:    n.delivered,
+		Dropped:      n.dropped,
+		Retried:      n.retried,
+		Lost:         n.lost,
+		Crashes:      n.crashes,
+		Restarts:     n.restarts,
+		CrashDropped: n.crashDropped,
+		Bytes:        n.bytes,
+		Steps:        n.steps,
+		PerNodeIn:    make(map[Addr]int64),
+		PerNodeOut:   make(map[Addr]int64),
 	}
 	for a, v := range n.denseIn {
 		if v != 0 {
