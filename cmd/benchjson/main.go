@@ -13,6 +13,16 @@
 // percentage (optionally restricted to names matching -gate-match):
 //
 //	benchjson -gate-allocs 10 -gate-match 'plain/w=1' -compare old.json new.json
+//
+// Two more report modes read a single JSON file. -speedup pairs every
+// row whose name contains "scratch" (restricted by the given regexp)
+// with its "delta" counterpart and prints the time and allocation
+// ratios — the CI summary line for the delta-vs-scratch boundary
+// ladder. -wladder groups rows carrying a /w=<k> suffix and prints the
+// worker-scaling table (speedup and efficiency vs the w=1 row):
+//
+//	benchjson -speedup 'ChurnScale/boundary' BENCH_churn.json
+//	benchjson -wladder BENCH_faithful.json
 package main
 
 import (
@@ -60,6 +70,8 @@ func main() {
 	compare := flag.String("compare", "", "old.json to diff against; requires new.json as the positional arg")
 	gateAllocs := flag.Float64("gate-allocs", 0, "with -compare: fail when allocs/op regresses more than this percent (0 = report only)")
 	gateMatch := flag.String("gate-match", "", "with -gate-allocs: regexp restricting which benchmarks are gated")
+	speedup := flag.String("speedup", "", "print scratch-vs-delta ratios for rows matching this regexp in the positional bench.json")
+	wladder := flag.Bool("wladder", false, "print the worker-scaling ladder for /w=<k> rows in the positional bench.json")
 	flag.Parse()
 	g := gate{allocsPct: *gateAllocs}
 	if *gateMatch != "" {
@@ -70,18 +82,43 @@ func main() {
 		}
 		g.match = re
 	}
-	if err := run(*compare, g, flag.Args(), os.Stdin, os.Stdout); err != nil {
+	if err := run(*compare, g, *speedup, *wladder, flag.Args(), os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(compare string, g gate, args []string, in io.Reader, out io.Writer) error {
+func run(compare string, g gate, speedup string, wladder bool, args []string, in io.Reader, out io.Writer) error {
+	modes := 0
+	for _, on := range []bool{compare != "", speedup != "", wladder} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-compare, -speedup and -wladder are mutually exclusive")
+	}
 	if compare != "" {
 		if len(args) != 1 {
 			return fmt.Errorf("-compare needs exactly one positional new.json, got %d args", len(args))
 		}
 		return runCompare(compare, args[0], g, out)
+	}
+	if speedup != "" {
+		re, err := regexp.Compile(speedup)
+		if err != nil {
+			return fmt.Errorf("-speedup: %w", err)
+		}
+		if len(args) != 1 {
+			return fmt.Errorf("-speedup needs exactly one positional bench.json, got %d args", len(args))
+		}
+		return runSpeedup(args[0], re, out)
+	}
+	if wladder {
+		if len(args) != 1 {
+			return fmt.Errorf("-wladder needs exactly one positional bench.json, got %d args", len(args))
+		}
+		return runWLadder(args[0], out)
 	}
 	results, err := parse(in)
 	if err != nil {
@@ -144,6 +181,91 @@ func load(path string) (map[string]Result, []string, error) {
 		m[r.Name] = r
 	}
 	return m, order, nil
+}
+
+// runSpeedup pairs every "scratch" row matching re with its "delta"
+// counterpart and prints the improvement ratios. No matching pair is
+// an error: a summary line silently reporting nothing would hide a
+// renamed benchmark from the CI lane that publishes it.
+func runSpeedup(path string, re *regexp.Regexp, out io.Writer) error {
+	m, order, err := load(path)
+	if err != nil {
+		return err
+	}
+	pairs := 0
+	for _, name := range order {
+		if !re.MatchString(name) || !strings.Contains(name, "scratch") {
+			continue
+		}
+		counterpart := strings.Replace(name, "scratch", "delta", 1)
+		d, ok := m[counterpart]
+		if !ok {
+			continue
+		}
+		s := m[name]
+		if d.NsPerOp <= 0 {
+			return fmt.Errorf("%s: non-positive ns/op", counterpart)
+		}
+		line := fmt.Sprintf("%s: delta %.1fx faster (%.0f -> %.0f ns/op)",
+			strings.Replace(name, "/scratch", "", 1), s.NsPerOp/d.NsPerOp, s.NsPerOp, d.NsPerOp)
+		if s.AllocsOp > 0 && d.AllocsOp > 0 {
+			line += fmt.Sprintf(", %.1fx fewer allocs (%d -> %d allocs/op)",
+				float64(s.AllocsOp)/float64(d.AllocsOp), s.AllocsOp, d.AllocsOp)
+		}
+		fmt.Fprintln(out, line)
+		pairs++
+	}
+	if pairs == 0 {
+		return fmt.Errorf("no scratch/delta pairs match %q in %s", re, path)
+	}
+	return nil
+}
+
+// wRow captures one /w=<k> suffix row of a worker ladder.
+var wRow = regexp.MustCompile(`^(.+)/w=(\d+)$`)
+
+// runWLadder groups rows by their name prefix before a /w=<k> suffix
+// and prints each group's scaling table: ns/op, speedup over the w=1
+// row and parallel efficiency (speedup/k). This is the nightly check
+// that the search pool actually scales on a multi-core runner.
+func runWLadder(path string, out io.Writer) error {
+	m, order, err := load(path)
+	if err != nil {
+		return err
+	}
+	type rung struct {
+		w  int
+		ns float64
+	}
+	groups := map[string][]rung{}
+	var groupOrder []string
+	for _, name := range order {
+		g := wRow.FindStringSubmatch(name)
+		if g == nil {
+			continue
+		}
+		w, _ := strconv.Atoi(g[2])
+		if _, seen := groups[g[1]]; !seen {
+			groupOrder = append(groupOrder, g[1])
+		}
+		groups[g[1]] = append(groups[g[1]], rung{w, m[name].NsPerOp})
+	}
+	if len(groupOrder) == 0 {
+		return fmt.Errorf("no /w=<k> rows in %s", path)
+	}
+	w := bufio.NewWriter(out)
+	for _, name := range groupOrder {
+		rungs := groups[name]
+		sort.Slice(rungs, func(i, j int) bool { return rungs[i].w < rungs[j].w })
+		base := rungs[0].ns // w=1 first after sorting whenever present
+		fmt.Fprintf(w, "%s:\n", name)
+		for _, r := range rungs {
+			speed := base / r.ns
+			fmt.Fprintf(w, "  w=%-3d %14.0f ns/op   speedup %5.2fx   efficiency %3.0f%%\n",
+				r.w, r.ns, speed, 100*speed*float64(rungs[0].w)/float64(r.w))
+		}
+	}
+	return w.Flush()
 }
 
 func runCompare(oldPath, newPath string, g gate, out io.Writer) error {

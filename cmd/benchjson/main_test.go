@@ -48,7 +48,7 @@ func TestParse(t *testing.T) {
 
 func TestRunJSONRoundTrip(t *testing.T) {
 	var out bytes.Buffer
-	if err := run("", gate{}, nil, strings.NewReader(sample), &out); err != nil {
+	if err := run("", gate{}, "", false, nil, strings.NewReader(sample), &out); err != nil {
 		t.Fatal(err)
 	}
 	var list []Result
@@ -75,7 +75,7 @@ func TestCompare(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run(oldPath, gate{}, []string{newPath}, nil, &out); err != nil {
+	if err := run(oldPath, gate{}, "", false, []string{newPath}, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -87,8 +87,73 @@ func TestCompare(t *testing.T) {
 }
 
 func TestCompareArgValidation(t *testing.T) {
-	if err := run("old.json", gate{}, nil, nil, &bytes.Buffer{}); err == nil {
+	if err := run("old.json", gate{}, "", false, nil, nil, &bytes.Buffer{}); err == nil {
 		t.Fatal("expected error without positional new.json")
+	}
+}
+
+// TestSpeedup: -speedup pairs scratch rows with their delta
+// counterparts and prints both ratios; an unmatched pattern errors.
+func TestSpeedup(t *testing.T) {
+	dir := t.TempDir()
+	benchJSON := `[
+	  {"name":"BenchmarkChurnScale/boundary/n=32/scratch","iters":1,"ns_per_op":9000000,"allocs_per_op":3000000},
+	  {"name":"BenchmarkChurnScale/boundary/n=32/delta","iters":1,"ns_per_op":50000,"allocs_per_op":60000},
+	  {"name":"BenchmarkOther","iters":1,"ns_per_op":5}]`
+	path := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(path, []byte(benchJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run("", gate{}, "ChurnScale/boundary", false, []string{path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"n=32", "180.0x faster", "50.0x fewer allocs"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("speedup output missing %q:\n%s", want, got)
+		}
+	}
+	// A pattern matching no pair must fail loudly, not print nothing.
+	if err := run("", gate{}, "NoSuchLadder", false, []string{path}, nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error for a pattern with no scratch/delta pairs")
+	}
+}
+
+// TestWLadder: -wladder groups /w=<k> rows and reports speedup and
+// efficiency against the w=1 rung.
+func TestWLadder(t *testing.T) {
+	dir := t.TempDir()
+	benchJSON := `[
+	  {"name":"BenchmarkCheck/plain/w=1","iters":1,"ns_per_op":8000},
+	  {"name":"BenchmarkCheck/plain/w=4","iters":1,"ns_per_op":2500},
+	  {"name":"BenchmarkCheck/plain/w=8","iters":1,"ns_per_op":2000},
+	  {"name":"BenchmarkNoSuffix","iters":1,"ns_per_op":5}]`
+	path := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(path, []byte(benchJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run("", gate{}, "", true, []string{path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"BenchmarkCheck/plain:", "w=1", "3.20x", " 80%", "4.00x", " 50%"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("wladder output missing %q:\n%s", want, got)
+		}
+	}
+	// A file with no /w= rows must fail loudly.
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`[{"name":"BenchmarkX","iters":1,"ns_per_op":5}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", gate{}, "", true, []string{empty}, nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error for a file with no worker ladder")
+	}
+	// Modes are mutually exclusive.
+	if err := run("old.json", gate{}, "x", false, []string{path}, nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error combining -compare and -speedup")
 	}
 }
 

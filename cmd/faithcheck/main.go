@@ -19,6 +19,8 @@
 //	faithcheck -suite loss -seed 1              # the lossy-links suite
 //	faithcheck -n 6 -shards 2 -crash participant # sharded settlement with crash-restarts
 //	faithcheck -suite settle -seed 1            # the sharded-settlement suite
+//	faithcheck -n 8 -epochs 4 -stats            # per-epoch boundary rebuild vs sweep cost
+//	faithcheck -suite internet -timings         # per-scenario elapsed + profile rungs
 //
 // With -epochs > 1 (or a suite whose specs carry a churn axis) the
 // scenario becomes a timeline: nodes join and leave between
@@ -26,15 +28,26 @@
 // epoch-boundary deviations (stale catalogues, leave-without-settling,
 // identity whitewashing) — is replayed per epoch through the same
 // worker pool.
+//
+// -stats breaks a churn run's cost into the per-epoch boundary rebuild
+// (and which path built it: delta repair, scratch central, or protocol
+// sims) versus the deviation sweep — the incremental engine's win is
+// visible here without running benchmarks. Suites with ProfileSizes
+// (internet: n∈{48,100}) additionally run honest-profiling rungs after
+// the deviation sweep: truthful construction and execution only, timed,
+// raising the size ceiling beyond what the full grid can afford.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/churn"
 	"repro/internal/core"
+	"repro/internal/fpss"
 	"repro/internal/scenario"
 )
 
@@ -65,6 +78,8 @@ func run(args []string) error {
 	burst := fs.Float64("burst", 0, "lossy links: mean loss-burst length in messages (requires -loss; <= 1 = independent drops)")
 	shards := fs.Int("shards", 0, "sharded settlement: shard count (0 = singleton bank)")
 	crash := fs.String("crash", "", "sharded settlement: crash-fault plan (coordinator, participant, recovery); requires -shards")
+	stats := fs.Bool("stats", false, "churn: print the per-epoch boundary-rebuild vs deviation-sweep timing/allocation breakdown (requires -epochs > 1)")
+	timings := fs.Bool("timings", false, "suite: append per-scenario elapsed wall time to every summary line (requires -suite)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,7 +119,18 @@ func run(args []string) error {
 		if len(shardFlags) > 0 {
 			return fmt.Errorf("shard flags (-shards/-crash) apply to single scenarios; suites define their own settlement axis (try -suite settle)")
 		}
-		return runSuite(*suite, *seed, cfg)
+		if *stats {
+			return fmt.Errorf("-stats applies to a single churn scenario (-epochs > 1); for suites use -timings")
+		}
+		return runSuite(*suite, *seed, cfg, *timings)
+	}
+	if *timings {
+		return fmt.Errorf("-timings applies to suite sweeps (-suite); for a single churn scenario use -stats")
+	}
+	if *stats && *epochs <= 1 {
+		// A static scenario has no epoch boundaries: there is nothing
+		// for the breakdown to time.
+		return fmt.Errorf("-stats has nothing to time without a churn timeline; add -epochs > 1")
 	}
 	if churnFlags["epochs"] && *epochs < 1 {
 		return fmt.Errorf("-epochs must be >= 1, got %d", *epochs)
@@ -151,7 +177,7 @@ func run(args []string) error {
 	if *epochs > 1 {
 		spec.Churn = scenario.Churn{Epochs: *epochs, Joins: *joins, Leaves: *leaves, RedrawFraction: *redraw}
 		fmt.Println("scenario:", spec.Describe())
-		return checkChurnScenario(spec, cfg)
+		return checkChurnScenario(spec, cfg, *stats)
 	}
 	c, err := spec.Compile()
 	if err != nil {
@@ -213,22 +239,54 @@ func checkScenario(c *scenario.Compiled, cfg core.CheckConfig) error {
 	return nil
 }
 
+// variantStats is one protocol variant's -stats record: the per-epoch
+// boundary rebuild breakdown plus the deviation sweep's cost window.
+type variantStats struct {
+	build       []churn.BuildStat
+	sweep       time.Duration
+	sweepAllocs uint64
+}
+
 // churnReports builds the timeline for a dynamic spec and runs the
 // per-epoch deviation search against both protocol variants — the one
 // sequence the single-scenario and suite paths share. The faithful
-// System is returned alive so callers can read its honest ledger.
-func churnReports(sp scenario.Spec, cfg core.CheckConfig) (*churn.Timeline, core.Report, core.Report, *churn.System, error) {
+// System is returned alive so callers can read its honest ledger. A
+// non-nil stats slice (length 2: plain, faithful) turns on the
+// boundary-vs-sweep cost breakdown.
+func churnReports(sp scenario.Spec, cfg core.CheckConfig, stats []variantStats) (*churn.Timeline, core.Report, core.Report, *churn.System, error) {
 	tl, err := churn.Build(sp)
 	if err != nil {
 		return nil, core.Report{}, core.Report{}, nil, err
 	}
 	cfg.PerEpoch = true
-	plainRep, err := core.CheckFaithfulnessCfg(churn.NewSystem(tl, churn.Plain), cfg)
+	check := func(i int, v churn.Variant) (core.Report, *churn.System, error) {
+		sys := churn.NewSystem(tl, v)
+		if stats != nil {
+			// BuildStats forces init, so the boundary rebuilds are done —
+			// and separately accounted — before the sweep window opens.
+			sys.EnableBuildStats()
+			bs, err := sys.BuildStats()
+			if err != nil {
+				return core.Report{}, nil, err
+			}
+			stats[i].build = bs
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			rep, err := core.CheckFaithfulnessCfg(sys, cfg)
+			stats[i].sweep = time.Since(start)
+			runtime.ReadMemStats(&m1)
+			stats[i].sweepAllocs = m1.Mallocs - m0.Mallocs
+			return rep, sys, err
+		}
+		rep, err := core.CheckFaithfulnessCfg(sys, cfg)
+		return rep, sys, err
+	}
+	plainRep, _, err := check(0, churn.Plain)
 	if err != nil {
 		return nil, core.Report{}, core.Report{}, nil, fmt.Errorf("%s: plain: %w", sp.Describe(), err)
 	}
-	faithSys := churn.NewSystem(tl, churn.Faithful)
-	faithRep, err := core.CheckFaithfulnessCfg(faithSys, cfg)
+	faithRep, faithSys, err := check(1, churn.Faithful)
 	if err != nil {
 		return nil, core.Report{}, core.Report{}, nil, fmt.Errorf("%s: faithful: %w", sp.Describe(), err)
 	}
@@ -237,8 +295,12 @@ func churnReports(sp scenario.Spec, cfg core.CheckConfig) (*churn.Timeline, core
 
 // checkChurnScenario is the verbose single-scenario churn path: the
 // membership timeline, both reports, and the honest ledger.
-func checkChurnScenario(sp scenario.Spec, cfg core.CheckConfig) error {
-	tl, plainRep, faithRep, faithSys, err := churnReports(sp, cfg)
+func checkChurnScenario(sp scenario.Spec, cfg core.CheckConfig, withStats bool) error {
+	var stats []variantStats
+	if withStats {
+		stats = make([]variantStats, 2)
+	}
+	tl, plainRep, faithRep, faithSys, err := churnReports(sp, cfg, stats)
 	if err != nil {
 		return err
 	}
@@ -251,6 +313,21 @@ func checkChurnScenario(sp scenario.Spec, cfg core.CheckConfig) error {
 	}
 	report("plain FPSS", plainRep)
 	report("extended (faithful) FPSS", faithRep)
+	if withStats {
+		for i, name := range []string{"plain FPSS", "extended (faithful) FPSS"} {
+			fmt.Printf("\n%s cost breakdown:\n", name)
+			var total time.Duration
+			var totalAllocs uint64
+			for _, bs := range stats[i].build {
+				fmt.Printf("  epoch %d boundary: mode=%-7s rebuild=%-12v allocs=%d\n",
+					bs.Epoch+1, bs.Mode, bs.Rebuild, bs.Allocs)
+				total += bs.Rebuild
+				totalAllocs += bs.Allocs
+			}
+			fmt.Printf("  boundary total:   %v (%d allocs)\n", total, totalAllocs)
+			fmt.Printf("  deviation sweep:  %v (%d allocs)\n", stats[i].sweep, stats[i].sweepAllocs)
+		}
+	}
 
 	ledger, err := faithSys.Ledger()
 	if err != nil {
@@ -269,8 +346,13 @@ func checkChurnScenario(sp scenario.Spec, cfg core.CheckConfig) error {
 
 // runSuite streams every scenario of a named suite through the
 // worker-pool checker, one summary line per scenario, then a verdict
-// over the whole sweep. Output is deterministic per (suite, seed).
-func runSuite(name string, seed int64, cfg core.CheckConfig) error {
+// over the whole sweep. Output is deterministic per (suite, seed);
+// timings appends per-scenario wall time (which is not). Scenarios at
+// n >= 16 get the profit-bound pruned checker automatically unless the
+// caller configured a bound already — at that size the unpruned grid
+// is what holds suites below internet scale. After the sweep, suites
+// with a profiling tier run their honest rungs (see runProfileTier).
+func runSuite(name string, seed int64, cfg core.CheckConfig, timings bool) error {
 	if name == "list" {
 		for _, s := range scenario.Suites() {
 			fmt.Printf("%-12s %3d scenarios  %s\n", s.Name, len(s.Specs(seed)), s.Description)
@@ -285,11 +367,19 @@ func runSuite(name string, seed int64, cfg core.CheckConfig) error {
 	fmt.Printf("suite %s seed=%d: %d scenarios\n", s.Name, seed, len(specs))
 	plainManipulable, faithfulClean := 0, 0
 	for i, spec := range specs {
+		start := time.Now()
+		specCfg := cfg
+		if spec.N >= 16 && specCfg.PruneBound == nil {
+			// Large scenarios get the pruned checker by default: the
+			// bound is sound (see -verify-pruned) and the pruned count is
+			// reported on the summary line, so coverage stays auditable.
+			specCfg.PruneBound = core.SelfBound
+		}
 		var plainRep, faithRep core.Report
 		if spec.Churn.Dynamic() {
 			// Dynamic scenario: per-epoch grid through the churn engine.
 			var err error
-			if _, plainRep, faithRep, _, err = churnReports(spec, cfg); err != nil {
+			if _, plainRep, faithRep, _, err = churnReports(spec, specCfg, nil); err != nil {
 				return err
 			}
 		} else {
@@ -298,10 +388,10 @@ func runSuite(name string, seed int64, cfg core.CheckConfig) error {
 				return err
 			}
 			plainSys, faithSys := c.Systems()
-			if plainRep, err = core.CheckFaithfulnessCfg(plainSys, cfg); err != nil {
+			if plainRep, err = core.CheckFaithfulnessCfg(plainSys, specCfg); err != nil {
 				return fmt.Errorf("%s: plain: %w", spec.Describe(), err)
 			}
-			if faithRep, err = core.CheckFaithfulnessCfg(faithSys, cfg); err != nil {
+			if faithRep, err = core.CheckFaithfulnessCfg(faithSys, specCfg); err != nil {
 				return fmt.Errorf("%s: faithful: %w", spec.Describe(), err)
 			}
 		}
@@ -319,9 +409,13 @@ func runSuite(name string, seed int64, cfg core.CheckConfig) error {
 		if len(plainRep.Violations) == 0 {
 			tag = " [plain non-manipulable]"
 		}
-		fmt.Printf("[%d/%d] %s: plain violations=%d%s, faithful=%v (checked %d/%d plays, pruned %d)\n",
+		elapsed := ""
+		if timings {
+			elapsed = fmt.Sprintf(" [%v]", time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Printf("[%d/%d] %s: plain violations=%d%s, faithful=%v (checked %d/%d plays, pruned %d)%s\n",
 			i+1, len(specs), spec.Describe(), len(plainRep.Violations), tag, faithRep.Faithful(),
-			faithRep.Checked, faithRep.Total(), faithRep.Pruned)
+			faithRep.Checked, faithRep.Total(), faithRep.Pruned, elapsed)
 		for _, v := range faithRep.Violations {
 			fmt.Printf("        faithful violation: %s\n", v)
 		}
@@ -334,6 +428,49 @@ func runSuite(name string, seed int64, cfg core.CheckConfig) error {
 	// manipulability varies by scenario and is reported, not gated.)
 	if faithfulClean < len(specs) {
 		return fmt.Errorf("extended specification violated in %d/%d scenarios", len(specs)-faithfulClean, len(specs))
+	}
+	return runProfileTier(s, seed, timings)
+}
+
+// runProfileTier runs a suite's honest-profiling rungs: sizes above
+// the deviation-search ceiling at which only the truthful profile is
+// built — central construction, both variants seeded from the one
+// solution, and both honest snapshots executed (the faithful one
+// audited) — so construction scales are exercised and timed where the
+// full grid is not yet affordable.
+func runProfileTier(s scenario.Suite, seed int64, timings bool) error {
+	profiles := s.ProfileSpecs(seed)
+	if len(profiles) == 0 {
+		return nil
+	}
+	fmt.Printf("\nprofile tier (honest construction + execution, no deviation grid): %d rungs\n", len(profiles))
+	for i, sp := range profiles {
+		start := time.Now()
+		c, err := sp.Compile()
+		if err != nil {
+			return fmt.Errorf("profile %s: %w", sp.Describe(), err)
+		}
+		centralStart := time.Now()
+		sol, err := fpss.ComputeCentral(c.Graph)
+		if err != nil {
+			return fmt.Errorf("profile %s: central: %w", sp.Describe(), err)
+		}
+		central := time.Since(centralStart)
+		plainSys, faithSys := c.Systems()
+		plainSys.SeedHonest(sol)
+		faithSys.SeedHonest(sol)
+		if _, err := plainSys.Snapshot(); err != nil {
+			return fmt.Errorf("profile %s: plain snapshot: %w", sp.Describe(), err)
+		}
+		if _, err := faithSys.Snapshot(); err != nil {
+			return fmt.Errorf("profile %s: faithful snapshot: %w", sp.Describe(), err)
+		}
+		elapsed := ""
+		if timings {
+			elapsed = fmt.Sprintf(" [total %v, central %v]",
+				time.Since(start).Round(time.Millisecond), central.Round(time.Millisecond))
+		}
+		fmt.Printf("[profile %d/%d] %s: honest profile ok%s\n", i+1, len(profiles), sp.Describe(), elapsed)
 	}
 	return nil
 }

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/scenario"
+)
 
 func TestRunRandomScenario(t *testing.T) {
 	if testing.Short() {
@@ -119,10 +123,50 @@ func TestRunBadScenario(t *testing.T) {
 		{"-n", "5", "-shards", "0"},
 		{"-n", "5", "-shards", "-2"},
 		{"-n", "5", "-shards", "2", "-crash", "meteor"},
+		// -stats times epoch boundaries; without a churn timeline there
+		// is nothing to time, and for suites the per-scenario knob is
+		// -timings.
+		{"-stats"},
+		{"-n", "5", "-stats"},
+		{"-suite", "smoke", "-stats"},
+		// -timings is the suite-mode knob.
+		{"-timings"},
+		{"-n", "5", "-epochs", "2", "-timings"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
 			t.Errorf("args %v should error", args)
 		}
+	}
+}
+
+func TestRunChurnStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full per-epoch deviation search")
+	}
+	if err := run([]string{"-n", "5", "-seed", "2", "-epochs", "2", "-stats"}); err != nil {
+		t.Fatalf("faithcheck -stats: %v", err)
+	}
+}
+
+// TestRunProfileTier drives the honest-profiling rungs directly with a
+// small ad-hoc suite (the registered internet tier's n∈{48,100} rungs
+// belong to the nightly lane, not the unit tests).
+func TestRunProfileTier(t *testing.T) {
+	s := scenario.Suite{
+		Name:         "profile-test",
+		Families:     []scenario.Family{scenario.PrefAttach, scenario.Waxman},
+		Sizes:        []int{6},
+		Workloads:    []scenario.Workload{scenario.WorkloadAllPairs},
+		CostModels:   []scenario.CostModel{scenario.CostUniform},
+		ProfileSizes: []int{12, 16},
+	}
+	if err := runProfileTier(s, 1, true); err != nil {
+		t.Fatalf("runProfileTier: %v", err)
+	}
+	// No profiling tier: a silent no-op.
+	s.ProfileSizes = nil
+	if err := runProfileTier(s, 1, false); err != nil {
+		t.Fatalf("runProfileTier (empty): %v", err)
 	}
 }

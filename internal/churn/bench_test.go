@@ -68,15 +68,52 @@ func BenchmarkChurn(b *testing.B) {
 	}
 }
 
-// BenchmarkChurnScale is the big-n end of the ladder: n={16,32}
-// per-epoch searches with profit-bound pruning, run with a NumCPU
+// BenchmarkChurnScale is the big-n end of the ladder, in two tiers.
+//
+// The boundary/* rows are the published delta-vs-scratch ladder: they
+// measure the epoch-boundary rebuild alone — Build, then forcing the
+// honest state of every epoch via init — with the incremental engine
+// live ("delta") and pinned off ("scratch", DisableDelta's protocol
+// simulations). No deviation search runs, so the rows are cheap enough
+// for the per-push bench smoke, and their ratio is the headline number
+// for the delta engine: the n=32 boundary cost must improve >= 3x in
+// both time and allocs/op.
+func BenchmarkChurnScale(b *testing.B) {
+	for _, n := range []int{16, 32} {
+		for _, mode := range []string{"scratch", "delta"} {
+			n, mode := n, mode
+			b.Run(fmt.Sprintf("boundary/n=%d/%s", n, mode), func(b *testing.B) {
+				sp := scenario.Spec{Family: scenario.Random, N: n, Seed: 1,
+					Churn: scenario.Churn{Epochs: 3, Joins: 1, Leaves: 1, RedrawFraction: 0.25}}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					tl, err := Build(sp)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if mode == "scratch" {
+						tl.DisableDelta()
+					}
+					sys := NewSystem(tl, Faithful)
+					if _, err := sys.Ledger(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	benchChurnScaleSweep(b)
+}
+
+// benchChurnScaleSweep is the opt-in tier: n={16,32} per-epoch
+// deviation searches with profit-bound pruning, run with a NumCPU
 // pool — the configuration a real sweep at that size would use. One
 // n=16 search alone takes ~30 minutes sequential (658 plays, ~550GB
-// allocated), so these rows are opt-in (BENCH_CHURN_SCALE=1) and
+// allocated), so these rows stay opt-in (BENCH_CHURN_SCALE=1) and
 // live in the nightly CI lane, not the per-push bench smoke.
-func BenchmarkChurnScale(b *testing.B) {
+func benchChurnScaleSweep(b *testing.B) {
 	if os.Getenv("BENCH_CHURN_SCALE") == "" {
-		b.Skip("set BENCH_CHURN_SCALE=1 (nightly lane) to run the n=16/32 ladder rows")
+		return // sweep rows are nightly-lane only
 	}
 	for _, n := range []int{16, 32} {
 		n := n

@@ -62,6 +62,25 @@ type Epoch struct {
 
 	local map[Identity]graph.NodeID
 
+	// prev/delta chain this epoch to its predecessor: delta describes
+	// how prev's graph evolved into this one (nil for epoch 0). The
+	// chain is what lets the central solution of epoch e be repaired
+	// from epoch e−1 instead of rebuilt.
+	prev  *Epoch
+	delta *graph.Delta
+	// scratchOnly forces the protocol-simulation path everywhere —
+	// the permanent oracle the delta engine is differentially tested
+	// against. See Timeline.DisableDelta.
+	scratchOnly bool
+
+	// central is the epoch's immutable fpss.Central — honest converged
+	// tables plus the route trees behind them — shared read-only by
+	// honestTables, both system variants' snapshots, and the next
+	// epoch's Evolve. Built lazily once per epoch.
+	centralOnce sync.Once
+	central     *fpss.Central
+	centralErr  error
+
 	// Honest converged construction tables per member identity, built
 	// lazily once (read-only afterwards): the stale-catalogue deviation
 	// advertises the previous epoch's tables in this one.
@@ -304,6 +323,26 @@ func evolve(sp scenario.Spec, prev *Epoch, index int, nextID *Identity, costFn g
 		}
 	}
 
+	// Record the boundary as a graph delta so downstream layers repair
+	// epoch e's trees from epoch e−1's. The survivor remap is strictly
+	// increasing by construction: members sort ascending by identity and
+	// joiners always draw identities above every existing one, so
+	// survivors keep their relative order (NewDelta enforces this).
+	oldToNew := make([]graph.NodeID, len(prev.Members))
+	for i, id := range prev.Members {
+		if leaving[id] {
+			oldToNew[i] = -1
+		} else {
+			oldToNew[i] = next.local[id]
+		}
+	}
+	delta, err := graph.NewDelta(prev.Compiled.Graph, g, oldToNew)
+	if err != nil {
+		return nil, fmt.Errorf("boundary delta: %w", err)
+	}
+	next.prev = prev
+	next.delta = delta
+
 	traffic, err := sp.TrafficFor(len(members), rng)
 	if err != nil {
 		return nil, err
@@ -324,14 +363,76 @@ func evolve(sp scenario.Spec, prev *Epoch, index int, nextID *Identity, costFn g
 	return next, nil
 }
 
+// DisableDelta switches every epoch of the timeline onto the scratch
+// oracle path: honest tables and snapshots come from full protocol
+// simulations per epoch, exactly as before the delta engine existed.
+// This is the permanent differential-testing oracle (and the fallback
+// when the incremental path's preconditions don't hold). Call it before
+// the timeline is first played.
+func (tl *Timeline) DisableDelta() {
+	for _, e := range tl.Epochs {
+		e.scratchOnly = true
+	}
+}
+
+// useCentral reports whether the epoch may serve honest state from the
+// shared central solution. Under an enabled loss model the protocol
+// simulation stays authoritative — convergence bookkeeping, retry
+// counters and loss attribution are the sim's semantics, not the
+// central solver's — and DisableDelta pins the oracle path explicitly.
+func (e *Epoch) useCentral() bool {
+	return !e.scratchOnly && !e.Compiled.Params.Loss.Enabled()
+}
+
+// centralState returns the epoch's fpss.Central, repairing it from the
+// previous epoch's through the boundary delta when the chain exists,
+// and computing it from scratch at epoch 0 (or after a broken chain).
+// The recursion materializes at most one Central per epoch; each is
+// immutable once built.
+func (e *Epoch) centralState() (*fpss.Central, error) {
+	e.centralOnce.Do(func() {
+		if e.prev == nil || e.delta == nil {
+			e.central, e.centralErr = fpss.ComputeCentralState(e.Compiled.Graph)
+			return
+		}
+		pc, err := e.prev.centralState()
+		if err != nil {
+			e.centralErr = err
+			return
+		}
+		e.central, e.centralErr = pc.Evolve(e.Compiled.Graph, e.delta)
+	})
+	return e.central, e.centralErr
+}
+
 // honestTables returns the epoch's honest converged construction
 // tables per member identity, computing them once. They are what a
 // stale-catalogue deviator re-advertises in the next epoch. The
 // construction phase is identical for the plain and faithful variants
 // (checkers mirror without altering the computation), so one cache
 // serves both.
+//
+// On the incremental path the tables come straight from the epoch's
+// central solution — pinned byte-identical to the converged protocol
+// tables by the fpss and faithful test suites — with no cloning: the
+// solution is freshly built, immutable, and every consumer (the
+// stale-catalogue remap included) copies before mutating.
 func (e *Epoch) honestTables() (map[Identity]fpss.RoutingTable, map[Identity]fpss.PricingTable, error) {
 	e.tablesOnce.Do(func() {
+		if e.useCentral() {
+			c, err := e.centralState()
+			if err != nil {
+				e.tablesErr = err
+				return
+			}
+			e.routing = make(map[Identity]fpss.RoutingTable, len(e.Members))
+			e.pricing = make(map[Identity]fpss.PricingTable, len(e.Members))
+			for i, id := range e.Members {
+				e.routing[id] = c.Sol.Routing[graph.NodeID(i)]
+				e.pricing[id] = c.Sol.Pricing[graph.NodeID(i)]
+			}
+			return
+		}
 		res, err := fpss.Run(fpss.Config{Graph: e.Compiled.Graph, Loss: e.Compiled.Params.Loss})
 		if err != nil {
 			e.tablesErr = err

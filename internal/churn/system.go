@@ -2,7 +2,9 @@ package churn
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/bank"
 	"repro/internal/core"
@@ -99,6 +101,44 @@ type System struct {
 	snapOnce sync.Once
 	snap     *timelineState
 	snapErr  error
+
+	// Build-stat recording (EnableBuildStats before first use): one
+	// entry per epoch describing how the boundary was rebuilt and what
+	// it cost.
+	statsOn bool
+	stats   []BuildStat
+}
+
+// BuildStat records one epoch's boundary-rebuild cost during init:
+// wall time and heap allocations of producing the epoch's truthful
+// snapshot, plus which path produced it.
+type BuildStat struct {
+	Epoch int
+	// Rebuild is the wall time of the epoch's snapshot build (central
+	// evolve/compute or protocol sims, plus the execution tail).
+	Rebuild time.Duration
+	// Allocs is the heap allocation count (runtime.MemStats.Mallocs
+	// delta) over the same window.
+	Allocs uint64
+	// Mode names the path: "delta" (central state repaired from the
+	// previous epoch), "central" (central state computed from scratch —
+	// epoch 0 of the incremental path), or "sim" (full protocol
+	// simulations — the oracle path, or an enabled loss model).
+	Mode string
+}
+
+// EnableBuildStats turns on per-epoch boundary timing/allocation
+// recording. Must be called before the system is first used (init runs
+// lazily on first query).
+func (s *System) EnableBuildStats() { s.statsOn = true }
+
+// BuildStats forces initialization and returns the per-epoch boundary
+// rebuild record. Empty unless EnableBuildStats was called first.
+func (s *System) BuildStats() ([]BuildStat, error) {
+	if err := s.init(); err != nil {
+		return nil, err
+	}
+	return s.stats, nil
 }
 
 var _ core.EpochedSystem = (*System)(nil)
@@ -123,7 +163,33 @@ func (s *System) init() error {
 		s.states = make([]core.TruthfulState, len(s.tl.Epochs))
 		s.honest = make([]core.Outcome, len(s.tl.Epochs))
 		for i, e := range s.tl.Epochs {
+			var m0 runtime.MemStats
+			var start time.Time
+			if s.statsOn {
+				runtime.ReadMemStats(&m0)
+				start = time.Now()
+			}
+			mode := "sim"
 			plain, faith := e.Compiled.Systems()
+			if e.useCentral() {
+				// Incremental path: one immutable central solution per
+				// epoch — repaired from the previous epoch's through the
+				// boundary delta — seeds both variants' snapshots, so the
+				// boundary cost is the repair plus the execution tail, not
+				// three protocol simulations.
+				c, err := e.centralState()
+				if err != nil {
+					s.initErr = fmt.Errorf("churn: epoch %d central: %w", i, err)
+					return
+				}
+				plain.SeedHonest(c.Sol)
+				faith.SeedHonest(c.Sol)
+				if e.prev != nil && e.delta != nil {
+					mode = "delta"
+				} else {
+					mode = "central"
+				}
+			}
 			if s.variant == Plain {
 				s.epochs[i] = plain
 			} else {
@@ -141,6 +207,16 @@ func (s *System) init() error {
 			s.stateful[i] = ss
 			s.states[i] = st
 			s.honest[i] = st.Baseline()
+			if s.statsOn {
+				var m1 runtime.MemStats
+				runtime.ReadMemStats(&m1)
+				s.stats = append(s.stats, BuildStat{
+					Epoch:   i,
+					Rebuild: time.Since(start),
+					Allocs:  m1.Mallocs - m0.Mallocs,
+					Mode:    mode,
+				})
+			}
 		}
 		if err := s.buildLedger(); err != nil {
 			s.initErr = err

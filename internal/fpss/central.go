@@ -45,6 +45,19 @@ type Solution struct {
 // deterministic — byte-identical to the sequential reference —
 // because every job writes only its own slot.
 func ComputeCentral(g *graph.Graph) (*Solution, error) {
+	c, err := computeCentral(g, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.Sol, nil
+}
+
+// computeCentral is the shared core behind ComputeCentral (prev and d
+// nil) and Central.Evolve. The delta form runs the exact same
+// transit-detection and assembly code over trees that were repaired
+// instead of rebuilt — SSSPDelta's byte-identity guarantee is what
+// keeps the two forms indistinguishable in the output.
+func computeCentral(g *graph.Graph, prev *Central, d *graph.Delta) (*Central, error) {
 	if !g.IsBiconnected() {
 		return nil, ErrNotBiconnected
 	}
@@ -58,11 +71,19 @@ func ComputeCentral(g *graph.Graph) (*Solution, error) {
 		sol.Costs[graph.NodeID(i)] = g.Cost(graph.NodeID(i))
 	}
 
-	// Base trees: one full SSSP per source, in parallel.
+	// Base trees: one full SSSP per source, in parallel. With a delta,
+	// each surviving source repairs its previous tree instead (joiners
+	// and nil deltas fall through to a scratch run inside SSSPDelta).
 	base := make([]*graph.Tree, n)
 	err := parallelFor(n, func(w *centralWorker, i int) error {
+		var old *graph.Tree
+		if prev != nil {
+			if o := d.NewToOld(graph.NodeID(i)); o >= 0 {
+				old = prev.base[o]
+			}
+		}
 		t := &graph.Tree{}
-		if err := g.SSSP(t, w.scratch, graph.NodeID(i), nil); err != nil {
+		if err := g.SSSPDelta(t, w.scratch, graph.NodeID(i), nil, old, d); err != nil {
 			return fmt.Errorf("all pairs from %d: %w", i, err)
 		}
 		base[i] = t
@@ -112,13 +133,28 @@ func ComputeCentral(g *graph.Graph) (*Solution, error) {
 			kid := graph.NodeID(k)
 			w.avoid.Clear()
 			w.avoid.Add(kid)
+			// Carry the previous epoch's avoid-k sweep when k survived and
+			// was transit then too (prev.avoid rows exist only for former
+			// transit nodes).
+			var prevK []*graph.Tree
+			if prev != nil {
+				if ko := d.NewToOld(kid); ko >= 0 {
+					prevK = prev.avoid[ko]
+				}
+			}
 			trees := make([]*graph.Tree, n)
 			for v := 0; v < n; v++ {
 				if v == k {
 					continue
 				}
+				var old *graph.Tree
+				if prevK != nil {
+					if o := d.NewToOld(graph.NodeID(v)); o >= 0 {
+						old = prevK[o]
+					}
+				}
 				t := &graph.Tree{}
-				if err := g.SSSP(t, w.scratch, graph.NodeID(v), w.avoid); err != nil {
+				if err := g.SSSPDelta(t, w.scratch, graph.NodeID(v), w.avoid, old, d); err != nil {
 					return fmt.Errorf("all pairs without %d: %w", k, err)
 				}
 				trees[v] = t
@@ -181,7 +217,7 @@ func ComputeCentral(g *graph.Graph) (*Solution, error) {
 		sol.Routing[graph.NodeID(i)] = routing[i]
 		sol.Pricing[graph.NodeID(i)] = pricing[i]
 	}
-	return sol, nil
+	return &Central{Sol: sol, g: g, base: base, avoid: avoidTrees}, nil
 }
 
 // centralWorker is one worker's private state in a parallelFor fan-out.

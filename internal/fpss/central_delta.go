@@ -1,0 +1,51 @@
+package fpss
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Central is ComputeCentral's solution together with the parent-pointer
+// trees behind it, retained so the next epoch's solution can be
+// *repaired* from this one instead of rebuilt. The churn layer chains
+// one Central per epoch: epoch e evolves from epoch e−1 through the
+// membership/cost delta, and every play of epoch e shares the resulting
+// immutable Solution.
+//
+// A Central keeps n base trees plus one n-tree sweep per transit node —
+// O(n²·transit) int64/int32 labels. Chains hold every epoch alive (each
+// epoch is the next one's repair source), so very long timelines at
+// very large n should fall back to the scratch path if memory matters
+// more than boundary latency.
+type Central struct {
+	// Sol is the centralized routing/pricing solution — identical to
+	// what ComputeCentral returns for the same graph.
+	Sol *Solution
+
+	g     *graph.Graph
+	base  []*graph.Tree   // base[src]: full route tree from src
+	avoid [][]*graph.Tree // avoid[k][src]: tree in G−k; nil when k not transit
+}
+
+// ComputeCentralState is ComputeCentral, additionally retaining the
+// route trees so the result can seed Evolve.
+func ComputeCentralState(g *graph.Graph) (*Central, error) {
+	return computeCentral(g, nil, nil)
+}
+
+// Evolve computes the central solution for g — the post-delta graph —
+// by repairing this state's trees through d. The result is
+// byte-identical to ComputeCentral(g): transit detection, pricing and
+// identity tags run on repaired trees that SSSPDelta guarantees match
+// scratch ones label-for-label. A nil delta degrades to a full scratch
+// computation.
+func (c *Central) Evolve(g *graph.Graph, d *graph.Delta) (*Central, error) {
+	if c == nil || d == nil {
+		return computeCentral(g, nil, nil)
+	}
+	if d.NOld() != len(c.base) {
+		return nil, fmt.Errorf("fpss: delta old n %d != central n %d", d.NOld(), len(c.base))
+	}
+	return computeCentral(g, c, d)
+}

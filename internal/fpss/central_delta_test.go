@@ -1,0 +1,134 @@
+package fpss
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// evolveGraph mutates g the way a churn boundary does — leaves with a
+// dense monotone renumbering, tail joiners, carried edges, repair
+// edges, cost redraws — returning the new graph and the remap.
+func evolveGraph(t *testing.T, rng *rand.Rand, g *graph.Graph, maxCost int64) (*graph.Graph, []graph.NodeID) {
+	t.Helper()
+	n := g.N()
+	nLeave := rng.Intn(n/4 + 1)
+	if n-nLeave < 4 {
+		nLeave = n - 4
+	}
+	leave := make(map[graph.NodeID]bool)
+	for len(leave) < nLeave {
+		leave[graph.NodeID(rng.Intn(n))] = true
+	}
+	oldToNew := make([]graph.NodeID, n)
+	var surv []graph.NodeID
+	for v := 0; v < n; v++ {
+		if leave[graph.NodeID(v)] {
+			oldToNew[v] = -1
+			continue
+		}
+		oldToNew[v] = graph.NodeID(len(surv))
+		surv = append(surv, graph.NodeID(v))
+	}
+	nNew := len(surv) + rng.Intn(3)
+	ng := graph.New(nNew)
+	for w, ov := range surv {
+		if err := ng.SetCost(graph.NodeID(w), g.Cost(ov)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range g.Edges() {
+		a, b := oldToNew[e[0]], oldToNew[e[1]]
+		if a >= 0 && b >= 0 {
+			if err := ng.AddEdge(a, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for j := len(surv); j < nNew; j++ {
+		if err := ng.SetCost(graph.NodeID(j), graph.Cost(rng.Int63n(maxCost+1))); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 2; k++ {
+			if err := ng.AddEdge(graph.NodeID(j), graph.NodeID(rng.Intn(j))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := graph.RepairBiconnected(ng); err != nil {
+		t.Fatalf("RepairBiconnected: %v", err)
+	}
+	for w := 0; w < len(surv); w++ {
+		if rng.Float64() < 0.25 {
+			if err := ng.SetCost(graph.NodeID(w), graph.Cost(rng.Int63n(maxCost+1))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return ng, oldToNew
+}
+
+// TestCentralEvolveMatchesScratch chains several churn-like evolutions
+// and requires every evolved Solution to deep-equal a from-scratch
+// ComputeCentral of the same graph — routing paths, prices, witness
+// avoid paths and identity tags included.
+func TestCentralEvolveMatchesScratch(t *testing.T) {
+	for _, maxCost := range []int64{1, 4, 60} {
+		for seed := int64(0); seed < 5; seed++ {
+			rng := rand.New(rand.NewSource(seed*313 + maxCost))
+			g, err := graph.RandomBiconnected(10, 6, graph.Cost(maxCost), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := ComputeCentralState(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for step := 0; step < 4; step++ {
+				label := fmt.Sprintf("c=%d s=%d step=%d", maxCost, seed, step)
+				ng, oldToNew := evolveGraph(t, rng, g, maxCost)
+				d, err := graph.NewDelta(g, ng, oldToNew)
+				if err != nil {
+					t.Fatalf("%s: NewDelta: %v", label, err)
+				}
+				c, err = c.Evolve(ng, d)
+				if err != nil {
+					t.Fatalf("%s: Evolve: %v", label, err)
+				}
+				want, err := ComputeCentral(ng)
+				if err != nil {
+					t.Fatalf("%s: ComputeCentral: %v", label, err)
+				}
+				if !reflect.DeepEqual(c.Sol, want) {
+					t.Fatalf("%s: evolved solution differs from scratch", label)
+				}
+				g = ng
+			}
+		}
+	}
+}
+
+// TestCentralEvolveNilDelta pins the degradation path: a nil delta (or
+// nil receiver) recomputes from scratch rather than failing.
+func TestCentralEvolveNilDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := graph.RandomBiconnected(8, 4, 9, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nilC *Central
+	c, err := nilC.Evolve(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ComputeCentral(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.Sol, want) {
+		t.Fatal("nil-delta evolve differs from scratch")
+	}
+}

@@ -187,6 +187,12 @@ type Scratch struct {
 	done   []bool
 	pa, pb []NodeID // equal-length root chains during lex tie-breaks
 	avoid  NodeSet  // staging area for map- and single-node avoid sets
+
+	// Delta-repair working set (see delta.go); unused by plain runs.
+	taint   []uint8 // old-tree chain cleanliness memo, old numbering
+	tstack  []int32 // parent-chain walk stack for the taint memo
+	carPar  []int32 // carried parent per new node, -2 when not carried
+	changed []bool  // popped node's chain differs from the carried one
 }
 
 // NewScratch returns a Scratch pre-sized for n nodes.

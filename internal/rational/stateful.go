@@ -9,6 +9,7 @@ import (
 	"repro/internal/fpss"
 	"repro/internal/graph"
 	"repro/internal/settle"
+	"repro/internal/sign"
 	"repro/internal/sim"
 )
 
@@ -183,24 +184,38 @@ var _ core.Bounder = (*PlainSystem)(nil)
 func (s *PlainSystem) Snapshot() (core.TruthfulState, error) {
 	s.scen.init(s.Graph, s.Params, false)
 	s.snapOnce.Do(func() {
-		res, err := fpss.Run(fpss.Config{Graph: s.Graph, Loss: s.Params.Loss})
-		if err != nil {
-			s.snapErr = fmt.Errorf("plain run: %w", err)
-			return
-		}
-		n := len(res.Nodes)
-		st := &plainState{
-			routing:  make(map[graph.NodeID]fpss.RoutingTable, n),
-			pricing:  make(map[graph.NodeID]fpss.PricingTable, n),
-			declared: make(fpss.CostTable, n),
-			owed:     make(map[graph.NodeID]int64, n),
-		}
-		for id, node := range res.Nodes {
-			// Quiescent-network views, retained past the nodes' lifetime:
-			// converged tables are immutable.
-			st.routing[id] = node.RoutingView()
-			st.pricing[id] = node.PricingView()
-			st.declared[id] = node.DeclaredCost()
+		var st *plainState
+		if sol := s.seed; sol != nil && !s.Params.Loss.Enabled() {
+			// Seeded: the central solution is the converged honest
+			// construction (honest nodes declare true costs), so the
+			// snapshot shares its immutable tables outright and only the
+			// execution tail below runs.
+			st = &plainState{
+				routing:  sol.Routing,
+				pricing:  sol.Pricing,
+				declared: sol.Costs,
+				owed:     make(map[graph.NodeID]int64, len(sol.Costs)),
+			}
+		} else {
+			res, err := fpss.Run(fpss.Config{Graph: s.Graph, Loss: s.Params.Loss})
+			if err != nil {
+				s.snapErr = fmt.Errorf("plain run: %w", err)
+				return
+			}
+			n := len(res.Nodes)
+			st = &plainState{
+				routing:  make(map[graph.NodeID]fpss.RoutingTable, n),
+				pricing:  make(map[graph.NodeID]fpss.PricingTable, n),
+				declared: make(fpss.CostTable, n),
+				owed:     make(map[graph.NodeID]int64, n),
+			}
+			for id, node := range res.Nodes {
+				// Quiescent-network views, retained past the nodes'
+				// lifetime: converged tables are immutable.
+				st.routing[id] = node.RoutingView()
+				st.pricing[id] = node.PricingView()
+				st.declared[id] = node.DeclaredCost()
+			}
 		}
 		exec, err := s.executeOn(st, nil)
 		if err != nil {
@@ -334,6 +349,39 @@ var _ core.Bounder = (*FaithfulSystem)(nil)
 func (s *FaithfulSystem) Snapshot() (core.TruthfulState, error) {
 	s.scen.init(s.Graph, s.Params, true)
 	s.snapOnce.Do(func() {
+		if sol := s.seed; sol != nil && !s.Params.Loss.Enabled() {
+			// Seeded: an honest construction always converges to the
+			// central solution and always passes the bank checkpoint, so
+			// the certified post-checkpoint state can be synthesized
+			// without simulating phases 1/2. The audit bank only needs
+			// its node list (the checker-assignment keys, exactly what
+			// Run registers via Reuse); the execution phase and payment
+			// audit then replay through the same execAndAudit tail Run
+			// uses, making the outcome byte-identical.
+			auditor := new(bank.Bank)
+			auditor.Reuse(sign.NewAuthority(), s.scen.checkers)
+			st := &faithfulState{
+				exec: faithful.ExecState{
+					Routing:   sol.Routing,
+					Pricing:   sol.Pricing,
+					Declared:  sol.Costs,
+					TrueCosts: s.scen.trueCosts,
+					Bank:      auditor,
+				},
+			}
+			res, err := faithful.ExecPlay(st.exec, s.runConfig(nil, nil, nil), nil)
+			if err != nil {
+				s.snapErr = fmt.Errorf("faithful seeded snapshot: %w", err)
+				return
+			}
+			st.base = outcomeOf(res, nil)
+			st.ok = true
+			if s.Params.Settle.Enabled() && res.Exec != nil {
+				st.batch = settleBatch(res.Exec)
+			}
+			s.snap = st
+			return
+		}
 		auditor := new(bank.Bank)
 		res, err := faithful.Run(s.runConfig(nil, nil, auditor))
 		if err != nil {

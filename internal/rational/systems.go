@@ -122,11 +122,26 @@ type PlainSystem struct {
 
 	scen scenario
 
+	// seed, when set, supplies the honest converged construction tables
+	// centrally so Snapshot can skip the protocol simulation. See
+	// SeedHonest.
+	seed *fpss.Solution
+
 	// Truthful snapshot (stateful.go), built once on first Snapshot.
 	snapOnce sync.Once
 	snap     *plainState
 	snapErr  error
 }
+
+// SeedHonest supplies the honest converged construction tables —
+// fpss.ComputeCentral output for this system's graph — letting the
+// truthful Snapshot skip the protocol simulation. The central solution
+// is byte-identical to the converged protocol tables (pinned by the
+// fpss differential tests), so seeded and simulated snapshots are
+// indistinguishable. Must be called before the first Snapshot; ignored
+// under an enabled loss model, where the simulation's convergence
+// bookkeeping stays authoritative. The solution must be immutable.
+func (s *PlainSystem) SeedHonest(sol *fpss.Solution) { s.seed = sol }
 
 var _ core.System = (*PlainSystem)(nil)
 
@@ -219,11 +234,25 @@ type FaithfulSystem struct {
 
 	scen scenario
 
+	// seed, when set, supplies the honest converged construction tables
+	// centrally so Snapshot can skip the protocol simulation. See
+	// SeedHonest.
+	seed *fpss.Solution
+
 	// Truthful snapshot (stateful.go), built once on first Snapshot.
 	snapOnce sync.Once
 	snap     *faithfulState
 	snapErr  error
 }
+
+// SeedHonest supplies the honest converged construction tables so the
+// truthful Snapshot can synthesize the certified post-checkpoint state
+// directly: an honest run always passes the bank checkpoint, and its
+// outcome is exactly the execution phase plus a clean audit over these
+// tables. Must be called before the first Snapshot; ignored under an
+// enabled loss model (loss attribution and retry accounting belong to
+// the simulation). The solution must be immutable.
+func (s *FaithfulSystem) SeedHonest(sol *fpss.Solution) { s.seed = sol }
 
 var _ core.System = (*FaithfulSystem)(nil)
 

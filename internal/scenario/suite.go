@@ -43,6 +43,15 @@ type Suite struct {
 	// Shards applies the sharded-settlement failure axis uniformly to
 	// every Spec (zero value = singleton bank).
 	Shards Shards
+	// ProfileSizes are the honest-profiling rungs above the suite's
+	// deviation-search ceiling: sizes at which faithcheck builds and
+	// executes only the truthful profile (central construction + both
+	// protocol variants' honest snapshots) instead of sweeping the
+	// deviation grid. They raise the suite's size ceiling to where the
+	// full search is not yet affordable — n=100+ for internet — while
+	// still exercising (and timing) every construction path at that
+	// scale. Empty means the suite has no profiling tier.
+	ProfileSizes []int
 }
 
 // Specs expands the cross product in deterministic order: family
@@ -81,6 +90,44 @@ func (s Suite) Specs(seed int64) []Spec {
 					specs = append(specs, sp)
 				}
 			}
+		}
+	}
+	return specs
+}
+
+// ProfileSpecs expands the honest-profiling tier: every family at
+// every ProfileSizes rung, under the suite's first workload and cost
+// model (the profile times construction, not the demand-matrix axis).
+// Seeds derive exactly like Specs', so a profile scenario is
+// reproducible from the same base seed.
+func (s Suite) ProfileSpecs(seed int64) []Spec {
+	if len(s.ProfileSizes) == 0 {
+		return nil
+	}
+	var w Workload
+	if len(s.Workloads) > 0 {
+		w = s.Workloads[0]
+	}
+	var cm CostModel
+	if len(s.CostModels) > 0 {
+		cm = s.CostModels[0]
+	}
+	specs := make([]Spec, 0, len(s.Families)*len(s.ProfileSizes))
+	for _, fam := range s.Families {
+		if fam == Figure1 {
+			continue // fixed-size; no profiling rung to raise
+		}
+		for _, n := range s.ProfileSizes {
+			sp := Spec{
+				Family:       fam,
+				N:            n,
+				Workload:     w,
+				CostModel:    cm,
+				Packets:      s.Packets,
+				CheckerLimit: s.CheckerLimit,
+			}
+			sp.Seed = deriveSeed(seed, sp)
+			specs = append(specs, sp)
 		}
 	}
 	return specs
@@ -172,14 +219,19 @@ func init() {
 		CostModels:  []CostModel{CostUniform},
 	})
 	// internet: the headline sweep — every Internet-like family under
-	// every cost model and the asymmetric workloads.
+	// every cost model and the asymmetric workloads. The deviation
+	// search sweeps n∈{12,24}; above that the honest-profiling rungs
+	// (n∈{48,100}) build and time the truthful profile only — the
+	// delta-driven epoch engine made construction cheap enough that the
+	// ceiling is now the search grid, not the build.
 	RegisterSuite(Suite{
-		Name:        "internet",
-		Description: "Internet-like families × all cost models × asymmetric workloads",
-		Families:    []Family{PrefAttach, Waxman, TwoTier},
-		Sizes:       []int{12, 24},
-		Workloads:   []Workload{WorkloadAllPairs, WorkloadHotspot, WorkloadSparse},
-		CostModels:  []CostModel{CostUniform, CostHeavyTailed, CostBimodal},
+		Name:         "internet",
+		Description:  "Internet-like families × all cost models × asymmetric workloads",
+		Families:     []Family{PrefAttach, Waxman, TwoTier},
+		Sizes:        []int{12, 24},
+		Workloads:    []Workload{WorkloadAllPairs, WorkloadHotspot, WorkloadSparse},
+		CostModels:   []CostModel{CostUniform, CostHeavyTailed, CostBimodal},
+		ProfileSizes: []int{48, 100},
 	})
 	// grid: the constant-degree, high-diameter counterpoint. Sizes
 	// stay ≤ 12: an all-pairs torus deviation search is ~10 s at n=9
