@@ -45,6 +45,11 @@ type Result struct {
 	NsPerOp  float64 `json:"ns_per_op"`
 	BytesOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds the custom b.ReportMetric units a benchmark
+	// published besides the standard three — latency percentiles
+	// ("p50-ns", "p99-ns") and throughput ("req/s") for the live
+	// serving ladder. Keyed by unit exactly as printed.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // benchLine matches the fixed prefix of a benchmark result line, e.g.
@@ -156,6 +161,15 @@ func parse(r io.Reader) ([]Result, error) {
 				res.BytesOp, _ = strconv.ParseInt(rest[i], 10, 64)
 			case "allocs/op":
 				res.AllocsOp, _ = strconv.ParseInt(rest[i], 10, 64)
+			default:
+				v, err := strconv.ParseFloat(rest[i], 64)
+				if err != nil {
+					continue
+				}
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[rest[i+1]] = v
 			}
 		}
 		out = append(out, res)
@@ -268,6 +282,27 @@ func runWLadder(path string, out io.Writer) error {
 	return w.Flush()
 }
 
+// metricUnits returns the sorted union of both results' custom metric
+// units.
+func metricUnits(a, b Result) []string {
+	if len(a.Metrics) == 0 && len(b.Metrics) == 0 {
+		return nil
+	}
+	set := map[string]struct{}{}
+	for u := range a.Metrics {
+		set[u] = struct{}{}
+	}
+	for u := range b.Metrics {
+		set[u] = struct{}{}
+	}
+	units := make([]string, 0, len(set))
+	for u := range set {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
+}
+
 func runCompare(oldPath, newPath string, g gate, out io.Writer) error {
 	oldM, order, err := load(oldPath)
 	if err != nil {
@@ -293,6 +328,24 @@ func runCompare(oldPath, newPath string, g gate, out io.Writer) error {
 		}
 		allocs := fmt.Sprintf("%+d", n.AllocsOp-o.AllocsOp)
 		fmt.Fprintf(w, "%-40s %14.0f %14.0f %8s %10s\n", name, o.NsPerOp, n.NsPerOp, delta, allocs)
+		// Custom metrics (latency percentiles, throughput) get one
+		// indented sub-row per unit present on either side.
+		for _, unit := range metricUnits(o, n) {
+			ov, oOK := o.Metrics[unit]
+			nv, nOK := n.Metrics[unit]
+			switch {
+			case oOK && nOK:
+				md := "~"
+				if ov > 0 {
+					md = fmt.Sprintf("%+.1f%%", 100*(nv-ov)/ov)
+				}
+				fmt.Fprintf(w, "%-40s %14.0f %14.0f %8s\n", "  └ "+unit, ov, nv, md)
+			case nOK:
+				fmt.Fprintf(w, "%-40s %14s %14.0f %8s\n", "  └ "+unit, "new", nv, "")
+			default:
+				fmt.Fprintf(w, "%-40s %14.0f %14s %8s\n", "  └ "+unit, ov, "gone", "")
+			}
+		}
 		if g.allocsPct > 0 && o.AllocsOp > 0 && (g.match == nil || g.match.MatchString(name)) {
 			pct := 100 * float64(n.AllocsOp-o.AllocsOp) / float64(o.AllocsOp)
 			if pct > g.allocsPct {

@@ -193,3 +193,51 @@ func TestGateAllocs(t *testing.T) {
 		t.Fatalf("failure should name the regressing benchmark: %v", err)
 	}
 }
+
+// TestParseMetrics: custom b.ReportMetric units land in the Metrics
+// map keyed by unit — the latency-percentile rows of the live ladder.
+func TestParseMetrics(t *testing.T) {
+	line := "BenchmarkLive/n=8/rate=2000-8  1  251000000 ns/op  52341 p50-ns  310882 p99-ns  1991 req/s  12 B/op  3 allocs/op\n"
+	res, err := parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("parsed %d results, want 1", len(res))
+	}
+	r := res[0]
+	if r.BytesOp != 12 || r.AllocsOp != 3 {
+		t.Fatalf("standard metrics lost around custom ones: %+v", r)
+	}
+	for unit, want := range map[string]float64{"p50-ns": 52341, "p99-ns": 310882, "req/s": 1991} {
+		if got := r.Metrics[unit]; got != want {
+			t.Errorf("Metrics[%q] = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+// TestCompareMetrics: compare renders one indented sub-row per custom
+// metric with its delta.
+func TestCompareMetrics(t *testing.T) {
+	dir := t.TempDir()
+	oldJSON := `[{"name":"BenchmarkLive/n=8","iters":1,"ns_per_op":1000,"metrics":{"p50-ns":100,"p99-ns":400}}]`
+	newJSON := `[{"name":"BenchmarkLive/n=8","iters":1,"ns_per_op":1000,"metrics":{"p50-ns":110,"req/s":2000}}]`
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(oldJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(oldPath, gate{}, "", false, []string{newPath}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"p50-ns", "+10.0%", "p99-ns", "gone", "req/s", "new"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("metric compare missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -405,6 +405,21 @@ func (e *Epoch) centralState() (*fpss.Central, error) {
 	return e.central, e.centralErr
 }
 
+// CentralState exposes the epoch's centrally-computed solution chain
+// to layers that keep epochs resident instead of replaying them — the
+// live server seeds each epoch's hot state from it so churn boundaries
+// ride the same Evolve chain the batch checker uses. It reports ok ==
+// false when the central path is not authoritative for this epoch
+// (enabled loss, or DisableDelta pinning the scratch oracle); callers
+// must then fall back to the protocol simulation.
+func (e *Epoch) CentralState() (c *fpss.Central, ok bool, err error) {
+	if !e.useCentral() {
+		return nil, false, nil
+	}
+	c, err = e.centralState()
+	return c, err == nil, err
+}
+
 // honestTables returns the epoch's honest converged construction
 // tables per member identity, computing them once. They are what a
 // stale-catalogue deviator re-advertises in the next epoch. The

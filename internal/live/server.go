@@ -1,0 +1,423 @@
+package live
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/churn"
+	"repro/internal/fpss"
+	"repro/internal/graph"
+	"repro/internal/livenet"
+	"repro/internal/rational"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// ConvergeTimeout bounds each quiescence wait while (re)building an
+// epoch's resident network. Generous: a converged smoke-suite epoch
+// quiesces in milliseconds; the bound only matters when a bug (or a
+// pathological deviation) stalls the Dijkstra–Scholten counter.
+const ConvergeTimeout = 60 * time.Second
+
+// Server keeps one scenario resident: a live goroutine network of
+// fpss.Node actors, converged through both construction phases and
+// then held quiescent while Route/Pay requests read its hot tables.
+// Epoch advances and deviant injections rebuild the network in place
+// (old actors shut down, new ones converge) without restarting the
+// process — the central-solution chain stays hot across boundaries.
+//
+// Dispatch is safe for concurrent use: reads (Route/Pay/Stats) take a
+// shared lock against the rare rebuild writes.
+type Server struct {
+	spec    scenario.Spec
+	monitor *Monitor
+
+	mu    sync.RWMutex
+	tl    *churn.Timeline // nil for static scenarios
+	epoch int
+	st    *epochState
+}
+
+// epochState is one epoch resident: the compiled scenario, the
+// converged live network and its node handlers, plus read-only caches
+// derived from the quiesced tables.
+type epochState struct {
+	comp    *scenario.Compiled
+	central *fpss.Central // nil when the central path is not authoritative
+	net     *livenet.Net
+	nodes   []*fpss.Node
+	// declared is the converged DATA1 (identical at every node after
+	// phase 1 — cached from node 0), used by SchemeDeclaredCost
+	// obligations.
+	declared fpss.CostTable
+	// divergence counts nodes whose live tables differ from the
+	// central solution; -1 when central is nil.
+	divergence int
+	// deviant names the injected deviation ("" = honest).
+	deviant     string
+	deviantNode graph.NodeID
+}
+
+// NewServer compiles the spec's timeline (one epoch for static specs)
+// and converges epoch 0 on a live network. Close releases the
+// resident goroutines.
+func NewServer(sp scenario.Spec) (*Server, error) {
+	s := &Server{spec: sp}
+	if sp.Churn.Dynamic() {
+		tl, err := churn.Build(sp)
+		if err != nil {
+			return nil, err
+		}
+		s.tl = tl
+	}
+	st, err := s.buildEpoch(0, -1, "")
+	if err != nil {
+		return nil, err
+	}
+	s.st = st
+	s.bindMonitor()
+	return s, nil
+}
+
+// AttachMonitor binds an online monitor to the server's current (and
+// every future) epoch state. Call before serving traffic; the monitor
+// is rebound on every epoch advance and deviant injection.
+func (s *Server) AttachMonitor(m *Monitor) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.monitor = m
+	return s.bindMonitorLocked()
+}
+
+func (s *Server) bindMonitor() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.bindMonitorLocked()
+}
+
+func (s *Server) bindMonitorLocked() error {
+	if s.monitor == nil || s.st == nil {
+		return nil
+	}
+	return s.monitor.Bind(s.st.comp, s.st.central)
+}
+
+// Close shuts the resident network down. The server must not be
+// dispatched to afterwards.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.st != nil {
+		s.st.net.Shutdown()
+	}
+}
+
+// N returns the current epoch's node count.
+func (s *Server) N() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.comp.Graph.N()
+}
+
+// Tables snapshots the resident nodes' converged DATA2/DATA3* — the
+// exact tables Route and Pay serve from. The differential suite pins
+// them byte-identical to the central solution and to an event-
+// simulator run of the same spec.
+func (s *Server) Tables() (map[graph.NodeID]fpss.RoutingTable, map[graph.NodeID]fpss.PricingTable) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	routing := make(map[graph.NodeID]fpss.RoutingTable, len(s.st.nodes))
+	pricing := make(map[graph.NodeID]fpss.PricingTable, len(s.st.nodes))
+	for i, nd := range s.st.nodes {
+		routing[graph.NodeID(i)] = nd.Routing()
+		pricing[graph.NodeID(i)] = nd.Pricing()
+	}
+	return routing, pricing
+}
+
+// Epochs returns the timeline length (1 for static scenarios).
+func (s *Server) Epochs() int {
+	if s.tl == nil {
+		return 1
+	}
+	return len(s.tl.Epochs)
+}
+
+// compiledFor returns epoch e's compiled scenario and, when the
+// central path is authoritative, its central solution.
+func (s *Server) compiledFor(e int) (*scenario.Compiled, *fpss.Central, error) {
+	if s.tl != nil {
+		ep := s.tl.Epochs[e]
+		central, ok, err := ep.CentralState()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			central = nil
+		}
+		return ep.Compiled, central, nil
+	}
+	comp, err := s.spec.Compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	if comp.Params.Loss.Enabled() {
+		return comp, nil, nil
+	}
+	central, err := fpss.ComputeCentralState(comp.Graph)
+	if err != nil {
+		return nil, nil, err
+	}
+	return comp, central, nil
+}
+
+// buildEpoch converges epoch e on a fresh live network, with node
+// `deviantNode` running the named catalogued deviation (deviant == ""
+// builds the honest epoch). It does not install the result.
+func (s *Server) buildEpoch(e int, deviantNode graph.NodeID, deviant string) (*epochState, error) {
+	comp, central, err := s.compiledFor(e)
+	if err != nil {
+		return nil, err
+	}
+	var strat *fpss.Strategy
+	if deviant != "" {
+		d, ok := rational.FindDeviation(deviant, true)
+		if !ok {
+			return nil, fmt.Errorf("live: unknown deviation %q", deviant)
+		}
+		strat, ok = d.ProtocolStrategy(rational.Ctx{Graph: comp.Graph, Node: deviantNode})
+		if !ok {
+			return nil, fmt.Errorf("live: deviation %q has no protocol part to run live", deviant)
+		}
+	}
+
+	g := comp.Graph
+	n := g.N()
+	nodes := make([]*fpss.Node, n)
+	handlers := make(map[sim.Addr]sim.Handler, n)
+	for i := 0; i < n; i++ {
+		id := graph.NodeID(i)
+		var si *fpss.Strategy
+		if deviant != "" && id == deviantNode {
+			si = strat
+		}
+		nodes[i] = fpss.NewNode(id, g.Cost(id), g.AdjView(id), si)
+		handlers[sim.Addr(i)] = nodes[i]
+	}
+	net := livenet.New(handlers)
+	net.SetLoss(comp.Params.Loss)
+	if err := net.Start(); err != nil {
+		return nil, err
+	}
+	if err := net.WaitQuiescence(ConvergeTimeout); err != nil {
+		net.Shutdown()
+		return nil, fmt.Errorf("live: phase 1: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		net.Inject(fpss.BankAddr, sim.Addr(i), fpss.StartPhase2{})
+	}
+	if err := net.WaitQuiescence(ConvergeTimeout); err != nil {
+		net.Shutdown()
+		return nil, fmt.Errorf("live: phase 2: %w", err)
+	}
+
+	st := &epochState{
+		comp:        comp,
+		central:     central,
+		net:         net,
+		nodes:       nodes,
+		declared:    nodes[0].Costs(),
+		divergence:  -1,
+		deviant:     deviant,
+		deviantNode: deviantNode,
+	}
+	if central != nil {
+		st.divergence = 0
+		for i := 0; i < n; i++ {
+			id := graph.NodeID(i)
+			if !nodes[i].RoutingView().Equal(central.Sol.Routing[id]) ||
+				!nodes[i].PricingView().Equal(central.Sol.Pricing[id]) {
+				st.divergence++
+			}
+		}
+	}
+	return st, nil
+}
+
+// swap installs a freshly built epoch state, shutting the old network
+// down and rebinding the monitor.
+func (s *Server) swap(e int, st *epochState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.st != nil {
+		s.st.net.Shutdown()
+	}
+	s.epoch, s.st = e, st
+	return s.bindMonitorLocked()
+}
+
+// Dispatch implements Dispatcher.
+func (s *Server) Dispatch(req Request) Response {
+	switch req.Op {
+	case OpRoute:
+		return s.route(req)
+	case OpPay:
+		return s.pay(req)
+	case OpStats:
+		return s.stats()
+	case OpInject:
+		return s.inject(req)
+	default:
+		return fail("live: unknown op %q", req.Op)
+	}
+}
+
+func (s *Server) route(req Request) Response {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.st
+	if err := st.checkFlow(req.Src, req.Dst); err != nil {
+		return fail("%v", err)
+	}
+	e, ok := st.nodes[req.Src].RoutingView()[graph.NodeID(req.Dst)]
+	if !ok {
+		return fail("live: node %d has no route to %d", req.Src, req.Dst)
+	}
+	path := make([]int, len(e.Path))
+	for i, h := range e.Path {
+		path[i] = int(h)
+	}
+	return Response{OK: true, Path: path, Cost: int64(e.Cost), Epoch: s.epoch}
+}
+
+func (s *Server) pay(req Request) Response {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.st
+	if err := st.checkFlow(req.Src, req.Dst); err != nil {
+		return fail("%v", err)
+	}
+	packets := req.Packets
+	if packets <= 0 {
+		packets = 1
+	}
+	dst := graph.NodeID(req.Dst)
+	node := st.nodes[req.Src]
+	e, ok := node.RoutingView()[dst]
+	if !ok {
+		return fail("live: node %d has no route to %d", req.Src, req.Dst)
+	}
+	// Mirrors fpss obligation accounting: VCG pays the DATA3* prices,
+	// the declared-cost scheme pays each transit its converged DATA1
+	// declaration.
+	list := make(fpss.PaymentList)
+	switch st.comp.Params.Scheme {
+	case fpss.SchemeDeclaredCost:
+		for _, k := range e.Path.TransitNodes() {
+			list[k] += int64(st.declared[k]) * packets
+		}
+	default: // VCG
+		for k, pe := range node.PricingView()[dst] {
+			list[k] += int64(pe.Price) * packets
+		}
+	}
+	payments := make([]Payment, 0, len(list))
+	var total int64
+	for _, k := range sortedKeys(list) {
+		payments = append(payments, Payment{To: int(k), Amount: list[k]})
+		total += list[k]
+	}
+	return Response{OK: true, Payments: payments, Total: total, Epoch: s.epoch}
+}
+
+func (s *Server) stats() Response {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.st
+	stats := &Stats{
+		Epoch:      s.epoch,
+		Epochs:     s.Epochs(),
+		N:          st.comp.Graph.N(),
+		Deviant:    st.deviant,
+		Divergence: st.divergence,
+		Net:        st.net.Counters(),
+	}
+	if st.deviant != "" {
+		stats.DeviantNode = int(st.deviantNode)
+	}
+	if s.monitor != nil {
+		ms := s.monitor.Stats()
+		stats.Monitor = &ms
+	}
+	return Response{OK: true, Epoch: s.epoch, Stats: stats}
+}
+
+func (s *Server) inject(req Request) Response {
+	s.mu.RLock()
+	epoch := s.epoch
+	n := s.st.comp.Graph.N()
+	s.mu.RUnlock()
+
+	switch {
+	case req.Advance:
+		if epoch+1 >= s.Epochs() {
+			return fail("live: already at final epoch %d", epoch)
+		}
+		st, err := s.buildEpoch(epoch+1, -1, "")
+		if err != nil {
+			return fail("%v", err)
+		}
+		if err := s.swap(epoch+1, st); err != nil {
+			return fail("%v", err)
+		}
+		return Response{OK: true, Epoch: epoch + 1}
+	case req.Reset:
+		st, err := s.buildEpoch(epoch, -1, "")
+		if err != nil {
+			return fail("%v", err)
+		}
+		if err := s.swap(epoch, st); err != nil {
+			return fail("%v", err)
+		}
+		return Response{OK: true, Epoch: epoch}
+	case req.Deviation != "":
+		if req.Node < 0 || req.Node >= n {
+			return fail("live: deviant node %d out of range [0,%d)", req.Node, n)
+		}
+		st, err := s.buildEpoch(epoch, graph.NodeID(req.Node), req.Deviation)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if err := s.swap(epoch, st); err != nil {
+			return fail("%v", err)
+		}
+		return Response{OK: true, Epoch: epoch}
+	default:
+		return fail("live: inject requires a deviation, advance, or reset")
+	}
+}
+
+func (st *epochState) checkFlow(src, dst int) error {
+	n := st.comp.Graph.N()
+	if src < 0 || src >= n {
+		return fmt.Errorf("live: src %d out of range [0,%d)", src, n)
+	}
+	if dst < 0 || dst >= n {
+		return fmt.Errorf("live: dst %d out of range [0,%d)", dst, n)
+	}
+	if src == dst {
+		return fmt.Errorf("live: src == dst (%d)", src)
+	}
+	return nil
+}
+
+func sortedKeys(list fpss.PaymentList) []graph.NodeID {
+	keys := make([]graph.NodeID, 0, len(list))
+	for k := range list {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

@@ -1,0 +1,79 @@
+package live
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+)
+
+// Serve accepts connections on ln and serves newline-delimited JSON
+// request/response pairs against d until the listener closes. Each
+// connection gets its own goroutine; requests on one connection are
+// served in order.
+func Serve(ln net.Listener, d Dispatcher) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go serveConn(conn, d)
+	}
+}
+
+func serveConn(conn net.Conn, d Dispatcher) {
+	defer conn.Close()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		if err := enc.Encode(d.Dispatch(req)); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a Dispatcher over one TCP connection. Dispatch is safe for
+// concurrent use; requests serialize on the connection (one in flight
+// at a time — the protocol has no request IDs, by design: the server
+// answers in order).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to a Serve listener.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}, nil
+}
+
+// Dispatch implements Dispatcher over the wire. Transport errors come
+// back as failed Responses so load-generator accounting sees them like
+// any other error.
+func (c *Client) Dispatch(req Request) Response {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return fail("live: client send: %v", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return fail("live: client recv: %v", err)
+	}
+	return resp
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }

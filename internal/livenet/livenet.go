@@ -9,13 +9,27 @@
 // fixpoint (the centralized solution) under *any* delivery order, not
 // just the simulator's canonical one. The livenet tests run the
 // protocol under live concurrency and compare tables against
-// ComputeCentral.
+// ComputeCentral, and internal/live keeps a resident livenet network
+// behind its serving boundary.
 //
 // Quiescence is detected with a Dijkstra–Scholten-style in-flight
 // counter: every enqueued message holds a credit that is released only
 // after the receiving handler finishes processing it (including any
 // sends that processing performed), so the counter can reach zero only
-// at true quiescence.
+// at true quiescence. A pending crash-restart holds a credit too — a
+// run does not quiesce while an endpoint is scheduled to come back.
+//
+// The failure axes mirror the simulator's: SetLoss installs the same
+// seeded per-link drop schedules (resolved at send time through a
+// sim.LossScheduler, so a live run and a simulated run with the same
+// per-link send order report identical Dropped/Retried/Lost), and
+// SetFaults installs the same positional crash schedule (an address
+// crashes after delivering the same number of messages; deliveries
+// while down count CrashDropped). The one semantic gap is restart
+// timing: the simulator restarts after RestartDelay logical ticks,
+// while livenet has no logical clock and maps a tick onto RestartTick
+// of wall time — crash/restart *counts* stay comparable, interleaving
+// around a restart does not.
 package livenet
 
 import (
@@ -28,11 +42,15 @@ import (
 	"repro/internal/sim"
 )
 
-// Counters mirrors the simulator's traffic accounting (subset).
-type Counters struct {
-	Sent      int64
-	Delivered int64
-}
+// Counters is the simulator's traffic accounting, shared wholesale:
+// the live network maintains the full sim.Counters surface (loss,
+// crash and per-node fields included) so the loss/fault axes report
+// identically live and simulated.
+type Counters = sim.Counters
+
+// RestartTick is the wall-clock length of one logical RestartDelay
+// tick for crash-restart schedules (see the package comment).
+const RestartTick = time.Millisecond
 
 // Net executes handlers concurrently, one goroutine per address.
 type Net struct {
@@ -40,12 +58,29 @@ type Net struct {
 	cond     *sync.Cond
 	handlers map[sim.Addr]sim.Handler
 	boxes    map[sim.Addr]*mailbox
-	pending  int64 // in-flight credits (messages + unstarted inits)
+	pending  int64 // in-flight credits (messages + unstarted inits + pending restarts)
 	counters Counters
+	loss     *sim.LossScheduler
+	faults   *faultSchedule
 	started  bool
 	closed   bool
 	wg       sync.WaitGroup
 }
+
+// faultSchedule is the livenet analogue of the simulator's faultState:
+// per-address pending crash entries consumed in order, delivery counts
+// since the last arm point, and the down set. Guarded by Net.mu.
+type faultSchedule struct {
+	pending map[sim.Addr][]sim.Crash
+	counts  map[sim.Addr]int64
+	down    map[sim.Addr]bool
+}
+
+// restartMarker is the mailbox payload that brings a crashed address
+// back up. It is pushed directly into the victim's own mailbox (no
+// Sent accounting, like the simulator's in-heap marker) and
+// intercepted by the worker loop before normal delivery.
+type restartMarker struct{}
 
 type mailbox struct {
 	mu     sync.Mutex
@@ -104,6 +139,43 @@ func New(handlers map[sim.Addr]sim.Handler) *Net {
 	return n
 }
 
+// SetLoss installs a seeded per-link drop model, resolved at send time
+// exactly as the simulator resolves it (same schedule streams, same
+// retry envelope, same counters). A disabled model removes it. Must be
+// called before Start.
+func (n *Net) SetLoss(m sim.LossModel) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.loss = sim.NewLossScheduler(m)
+}
+
+// SetFaults installs a positional crash schedule: an address crashes
+// after delivering Crash.AfterDeliveries further messages, drops
+// deliveries while down (Counters.CrashDropped), and restarts after
+// RestartDelay×RestartTick of wall time (never, when negative),
+// running the handler's Recover hook on its own worker goroutine. A
+// disabled model removes the schedule. Must be called before Start.
+func (n *Net) SetFaults(m sim.FaultModel) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !m.Enabled() {
+		n.faults = nil
+		return
+	}
+	fs := &faultSchedule{
+		pending: make(map[sim.Addr][]sim.Crash),
+		counts:  make(map[sim.Addr]int64),
+		down:    make(map[sim.Addr]bool),
+	}
+	for _, c := range m.Schedule {
+		if c.AfterDeliveries < 1 {
+			c.AfterDeliveries = 1
+		}
+		fs.pending[c.Addr] = append(fs.pending[c.Addr], c)
+	}
+	n.faults = fs
+}
+
 // liveContext implements sim.Context for a worker goroutine.
 type liveContext struct {
 	net  *Net
@@ -118,13 +190,37 @@ func (c *liveContext) Self() sim.Addr { return c.self }
 func (c *liveContext) Now() int64 { return time.Now().UnixNano() }
 
 func (c *liveContext) Send(to sim.Addr, payload any) {
-	c.net.send(c.self, to, payload)
+	c.net.send(c.self, to, payload, false)
 }
 
-func (n *Net) send(from, to sim.Addr, payload any) {
+// send is the shared body of handler sends (subject to the loss model)
+// and Inject (out-of-band control traffic, exempt — mirroring the
+// simulator's enqueue/Inject split).
+func (n *Net) send(from, to sim.Addr, payload any, reliable bool) {
 	box, ok := n.boxes[to]
+	size := int64(1)
+	if s, isSized := payload.(sim.Sizer); isSized {
+		size = int64(s.Size())
+	}
 	n.mu.Lock()
 	n.counters.Sent++
+	n.counters.Bytes += size
+	if n.counters.PerNodeOut == nil {
+		n.counters.PerNodeOut = make(map[sim.Addr]int64)
+	}
+	n.counters.PerNodeOut[from]++
+	// Self-sends are a handler's private timers, exempt from loss like
+	// Inject — the same carve-outs the simulator's enqueue makes.
+	if n.loss != nil && !reliable && from != to {
+		dropped, retried, lost := n.loss.Outcome(from, to)
+		n.counters.Dropped += dropped
+		if lost {
+			n.counters.Lost++
+			n.mu.Unlock()
+			return // permanent loss: the envelope gave up
+		}
+		n.counters.Retried += retried
+	}
 	if ok {
 		n.pending++
 	}
@@ -143,6 +239,79 @@ func (n *Net) release() {
 		n.cond.Broadcast()
 	}
 	n.mu.Unlock()
+}
+
+// deliverState classifies one popped message under the fault model and
+// updates the shared counters; everything but the handler calls
+// themselves happens under n.mu.
+type deliverState int
+
+const (
+	deliver  deliverState = iota // hand to Recv (then observe the fault schedule)
+	dropDown                     // destination down: counted, not delivered
+	restart                      // restart marker: bring the address back up
+)
+
+// classify records the pop in the counters and decides what the worker
+// does with it.
+func (n *Net) classify(addr sim.Addr, msg sim.Message) deliverState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.counters.Steps++
+	if _, isMarker := msg.Payload.(restartMarker); isMarker {
+		if n.faults != nil && n.faults.down[addr] {
+			delete(n.faults.down, addr)
+			n.counters.Restarts++
+			return restart
+		}
+		return dropDown // stale marker; the credit is still released
+	}
+	if n.faults != nil && n.faults.down[addr] {
+		n.counters.CrashDropped++
+		return dropDown
+	}
+	n.counters.Delivered++
+	if n.counters.PerNodeIn == nil {
+		n.counters.PerNodeIn = make(map[sim.Addr]int64)
+	}
+	n.counters.PerNodeIn[addr]++
+	return deliver
+}
+
+// observeDelivery advances addr's crash schedule after a completed
+// Recv; when a crash fires it marks the address down, counts it, and
+// schedules the restart (holding a quiescence credit until the marker
+// is processed).
+func (n *Net) observeDelivery(addr sim.Addr) {
+	n.mu.Lock()
+	fs := n.faults
+	if fs == nil || len(fs.pending[addr]) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	fs.counts[addr]++
+	q := fs.pending[addr]
+	if fs.counts[addr] < q[0].AfterDeliveries {
+		n.mu.Unlock()
+		return
+	}
+	c := q[0]
+	fs.pending[addr] = q[1:]
+	fs.counts[addr] = 0 // the next entry counts from here (or from restart)
+	fs.down[addr] = true
+	n.counters.Crashes++
+	var box *mailbox
+	if c.RestartDelay >= 0 {
+		n.pending++ // restart credit: no quiescence while one is pending
+		box = n.boxes[addr]
+	}
+	n.mu.Unlock()
+	if box != nil {
+		delay := time.Duration(c.RestartDelay) * RestartTick
+		time.AfterFunc(delay, func() {
+			box.push(sim.Message{From: addr, To: addr, Payload: restartMarker{}})
+		})
+	}
 }
 
 // Start launches one worker per handler. Each worker runs Init first
@@ -178,10 +347,17 @@ func (n *Net) Start() error {
 				if !ok {
 					return
 				}
-				n.mu.Lock()
-				n.counters.Delivered++
-				n.mu.Unlock()
-				h.Recv(ctx, msg)
+				switch n.classify(addr, msg) {
+				case deliver:
+					h.Recv(ctx, msg)
+					n.observeDelivery(addr)
+				case restart:
+					if r, isRec := h.(sim.Recoverer); isRec {
+						r.Recover(ctx)
+					}
+				case dropDown:
+					// dropped while down (or a stale marker): nothing runs
+				}
 				n.release() // message credit, after processing completes
 			}
 		}()
@@ -190,8 +366,10 @@ func (n *Net) Start() error {
 }
 
 // Inject enqueues an external message (e.g. a phase-change signal).
+// Like the simulator's Inject it is out-of-band control traffic,
+// exempt from the loss model.
 func (n *Net) Inject(from, to sim.Addr, payload any) {
-	n.send(from, to, payload)
+	n.send(from, to, payload, true)
 }
 
 // ErrTimeout is returned when quiescence is not reached in time.
@@ -237,9 +415,25 @@ func (n *Net) Shutdown() {
 	n.wg.Wait()
 }
 
-// Counters returns a snapshot of traffic statistics.
+// Down reports whether addr is currently crashed.
+func (n *Net) Down(addr sim.Addr) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.faults != nil && n.faults.down[addr]
+}
+
+// Counters returns an isolated snapshot of traffic statistics.
 func (n *Net) Counters() Counters {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.counters
+	out := n.counters
+	out.PerNodeIn = make(map[sim.Addr]int64, len(n.counters.PerNodeIn))
+	for a, v := range n.counters.PerNodeIn {
+		out.PerNodeIn[a] = v
+	}
+	out.PerNodeOut = make(map[sim.Addr]int64, len(n.counters.PerNodeOut))
+	for a, v := range n.counters.PerNodeOut {
+		out.PerNodeOut[a] = v
+	}
+	return out
 }

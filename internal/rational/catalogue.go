@@ -495,3 +495,34 @@ func LossCatalogue(forFaithful bool) []*Deviation {
 		},
 	)
 }
+
+// ProtocolStrategy builds the deviation's construction-phase strategy
+// for ctx. It reports false when the deviation has no protocol part —
+// checker-, execution-, and settlement-only deviations have no
+// realization as a live node's strategy, so a serving layer cannot
+// inject them into a resident network.
+func (d *Deviation) ProtocolStrategy(ctx Ctx) (*fpss.Strategy, bool) {
+	if d.protocol == nil {
+		return nil, false
+	}
+	return d.protocol(ctx), true
+}
+
+// FindDeviation looks up a catalogued deviation by name across the
+// classic, loss, and shard families. The live server resolves Inject
+// requests through this, so "which deviations exist" has exactly one
+// answer shared by the batch checker and the serving path.
+func FindDeviation(name string, forFaithful bool) (*Deviation, bool) {
+	for _, list := range [][]*Deviation{
+		Catalogue(forFaithful),
+		LossCatalogue(forFaithful),
+		ShardCatalogue(forFaithful),
+	} {
+		for _, d := range list {
+			if d.name == name {
+				return d, true
+			}
+		}
+	}
+	return nil, false
+}
